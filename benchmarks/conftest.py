@@ -1,0 +1,49 @@
+"""Shared benchmark fixtures.
+
+Each benchmark file regenerates one table/figure of the paper's evaluation
+(see DESIGN.md's experiment index).  The expensive step — running the real
+analysis to capture its schedule — is cached on disk by
+:mod:`repro.bench.runner`; the timed step is the deterministic simulator
+replay.  Every benchmark also writes its paper-style table to
+``benchmarks/results/`` (EXPERIMENTS.md quotes those files) and asserts
+the qualitative claims the paper makes about that figure.
+"""
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+_SRC = str(Path(__file__).parent.parent / "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def get_trace():
+    """Session-cached access to captured experiment traces."""
+    from repro.bench import capture_experiment
+
+    cache: dict = {}
+
+    def fetch(dataset: str, analysis: str, strategy: str, **kw):
+        key = (dataset, analysis, strategy, tuple(sorted(kw.items())))
+        if key not in cache:
+            cache[key] = capture_experiment(dataset, analysis, strategy, **kw)
+        return cache[key]
+
+    return fetch
+
+
+def write_result(results_dir: Path, name: str, text: str) -> None:
+    (results_dir / f"{name}.txt").write_text(text + "\n")
+    print(f"\n{text}\n")

@@ -1,0 +1,60 @@
+"""ABL2 — Ablation: partition length/count sweep.
+
+The paper (Section V): "the number and length of partitions in a dataset
+will have direct impact on the performance improvements achieved by
+newPAR, i.e., the more and the shorter the partitions are, the better the
+performance of newPAR versus oldPAR will become."
+
+We capture searches on d20_20000 under p1000 (20 partitions) and p5000
+(4 partitions) and compare improvement factors."""
+import pytest
+
+from conftest import write_result
+from repro.simmachine import X4600, simulate_trace
+
+CANDIDATES = 120
+
+
+@pytest.fixture(scope="module")
+def traces(get_trace):
+    out = {}
+    for plen in (1_000, 5_000):
+        out[plen] = {
+            s: get_trace(
+                f"d20_20000_p{plen}", "search", s, max_candidates=CANDIDATES
+            )
+            for s in ("old", "new")
+        }
+    return out
+
+
+def test_abl2_shorter_partitions_bigger_win(benchmark, traces, results_dir):
+    def improvements():
+        out = {}
+        for plen, pair in traces.items():
+            old = simulate_trace(pair["old"], X4600, 16).total_seconds
+            new = simulate_trace(pair["new"], X4600, 16).total_seconds
+            out[plen] = (old, new, old / new)
+        return out
+
+    rows = benchmark.pedantic(improvements, rounds=1, iterations=1)
+    lines = [
+        "ABL2: partition-length sweep, d20_20000 tree search, x4600 @ 16",
+        f"{'scheme':<8} {'#parts':>6} {'old':>9} {'new':>9} {'old/new':>8}",
+        "-" * 45,
+    ]
+    for plen, (old, new, ratio) in sorted(rows.items()):
+        lines.append(
+            f"p{plen:<7} {20_000 // plen:>6} {old:9.1f} {new:9.1f} {ratio:8.3f}"
+        )
+    write_result(results_dir, "abl2_partition_sweep", "\n".join(lines))
+
+    # the paper's monotonicity claim: shorter partitions -> larger win
+    assert rows[1_000][2] > rows[5_000][2]
+    assert rows[1_000][2] > 1.5
+    assert rows[5_000][2] >= 1.0
+
+
+def test_abl2_geometry(traces):
+    assert len(traces[1_000]["new"].pattern_counts) == 20
+    assert len(traces[5_000]["new"].pattern_counts) == 4

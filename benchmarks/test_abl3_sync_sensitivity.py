@@ -1,0 +1,65 @@
+"""ABL3 — Ablation: sensitivity to the synchronization-cost constants.
+
+The simulator's barrier/dispatch constants are calibrated against the
+paper's Figure 6 anchors (DESIGN.md).  This ablation sweeps the barrier
+cost and shows (a) oldPAR's runtime is roughly linear in it while
+newPAR's is nearly flat, and (b) the qualitative conclusions — newPAR
+wins, the gap widens with sync cost — hold across the entire plausible
+range, i.e. the reproduction does not hinge on the calibrated values."""
+import dataclasses
+
+import pytest
+
+from conftest import write_result
+from repro.simmachine import X4600, simulate_trace
+
+DATASET = "d50_50000_p1000"
+SCALES = (0.25, 0.5, 1.0, 2.0, 4.0)
+
+
+@pytest.fixture(scope="module")
+def traces(get_trace):
+    return {
+        s: get_trace(DATASET, "search", s, max_candidates=300)
+        for s in ("old", "new")
+    }
+
+
+def scaled_machine(scale: float):
+    return dataclasses.replace(
+        X4600,
+        barrier_base_ns=X4600.barrier_base_ns * scale,
+        barrier_per_thread_ns=X4600.barrier_per_thread_ns * scale,
+        dispatch_ns=X4600.dispatch_ns * scale,
+    )
+
+
+def test_abl3_sync_sweep(benchmark, traces, results_dir):
+    def sweep():
+        rows = []
+        for scale in SCALES:
+            machine = scaled_machine(scale)
+            old = simulate_trace(traces["old"], machine, 16).total_seconds
+            new = simulate_trace(traces["new"], machine, 16).total_seconds
+            rows.append((scale, old, new, old / new))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    lines = [
+        "ABL3: barrier-cost sensitivity, d50_50000 p1000, x4600 @ 16",
+        f"{'sync scale':>10} {'old':>9} {'new':>9} {'old/new':>8}",
+        "-" * 40,
+    ]
+    for scale, old, new, ratio in rows:
+        lines.append(f"{scale:>10.2f} {old:9.1f} {new:9.1f} {ratio:8.2f}")
+    write_result(results_dir, "abl3_sync_sensitivity", "\n".join(lines))
+
+    ratios = [r[3] for r in rows]
+    olds = [r[1] for r in rows]
+    news = [r[2] for r in rows]
+    # newPAR always wins, gap monotone in sync cost
+    assert all(r > 1.0 for r in ratios)
+    assert ratios == sorted(ratios)
+    # oldPAR time grows steeply with sync cost; newPAR barely moves
+    assert olds[-1] / olds[0] > 3.0
+    assert news[-1] / news[0] < 1.3

@@ -1,0 +1,91 @@
+"""EXPMAT — the paper's experimental-setup matrix (Section V).
+
+"For every possible combination of simulated datasets and corresponding
+partition schemes we executed 4 distinct analyses: an optimization of ML
+model parameters (without tree search) on a fixed input tree with joint
+and per-partition branch length estimates, as well as full ML tree
+searches ... with joint and per-partition branch length estimates."
+
+We run that grid on two simulated datasets (scaled-down capture effort)
+and assert the ordering the paper's results imply everywhere:
+
+    improvement(search, per-partition)  >  improvement(modelopt, per-partition)
+    improvement(search, per-partition)  >  improvement(search, joint)
+    improvement(*, joint) ~ small
+"""
+import pytest
+
+from conftest import write_result
+from repro.simmachine import X4600, simulate_trace
+
+DATASETS = ("d10_5000_p1000", "d20_20000_p1000")
+CELLS = (
+    ("search", "per_partition"),
+    ("search", "joint"),
+    ("modelopt", "per_partition"),
+    ("modelopt", "joint"),
+)
+
+
+@pytest.fixture(scope="module")
+def matrix(get_trace):
+    out = {}
+    for dataset in DATASETS:
+        for analysis, mode in CELLS:
+            for strategy in ("old", "new"):
+                out[(dataset, analysis, mode, strategy)] = get_trace(
+                    dataset, analysis, strategy,
+                    branch_mode=mode, max_candidates=120,
+                )
+    return out
+
+
+def improvement(matrix, dataset, analysis, mode, threads=16):
+    old = simulate_trace(matrix[(dataset, analysis, mode, "old")], X4600, threads)
+    new = simulate_trace(matrix[(dataset, analysis, mode, "new")], X4600, threads)
+    return old.total_seconds / new.total_seconds
+
+
+def test_expmat_grid(benchmark, matrix, results_dir):
+    def table():
+        rows = []
+        for dataset in DATASETS:
+            for analysis, mode in CELLS:
+                rows.append(
+                    (dataset, analysis, mode, improvement(matrix, dataset, analysis, mode))
+                )
+        return rows
+
+    rows = benchmark.pedantic(table, rounds=1, iterations=1)
+    lines = [
+        "EXPMAT: the paper's 4-analysis grid, x4600 @ 16 threads (old/new)",
+        f"{'dataset':<18} {'analysis':<9} {'branch mode':<14} {'old/new':>8}",
+        "-" * 54,
+    ]
+    for dataset, analysis, mode, ratio in rows:
+        lines.append(f"{dataset:<18} {analysis:<9} {mode:<14} {ratio:8.2f}")
+    write_result(results_dir, "expmat_analysis_matrix", "\n".join(lines))
+
+    by_cell = {(d, a, m): r for d, a, m, r in rows}
+    for dataset in DATASETS:
+        search_pp = by_cell[(dataset, "search", "per_partition")]
+        search_joint = by_cell[(dataset, "search", "joint")]
+        modelopt_pp = by_cell[(dataset, "modelopt", "per_partition")]
+        modelopt_joint = by_cell[(dataset, "modelopt", "joint")]
+        # the paper's ordering
+        assert search_pp > modelopt_pp, dataset
+        assert search_pp > search_joint, dataset
+        # joint-mode improvements stay small everywhere
+        assert search_joint < 1.4, (dataset, search_joint)
+        assert modelopt_joint < 1.4, (dataset, modelopt_joint)
+        # and nothing regresses
+        assert min(search_pp, search_joint, modelopt_pp, modelopt_joint) >= 0.98
+
+
+def test_expmat_more_partitions_bigger_effect(matrix):
+    """d20_20000 (20 partitions) beats d10_5000 (5 partitions) on the
+    per-partition search improvement — the paper's 'the more and the
+    shorter the partitions' claim across the dataset axis."""
+    small = improvement(matrix, "d10_5000_p1000", "search", "per_partition")
+    large = improvement(matrix, "d20_20000_p1000", "search", "per_partition")
+    assert large > small

@@ -1,0 +1,87 @@
+"""EXT2 — Extension: proposal scheduling for Bayesian inference.
+
+Paper Section IV ("Implications for Bayesian Inference"): per-partition
+proposals give Bayesian programs the same oldPAR-shaped schedules; the
+proposal mechanism "should be designed such as to allow for applying
+simultaneous changes to one of the parameter types across all partitions"
+and branch-length changes "should be simultaneously proposed for all
+partitions of the same topological connection".
+
+We run the same MCMC under both proposal schedulings, capture both
+schedules, and replay them on the 16-core platforms — the ML result,
+transposed to MC3."""
+import numpy as np
+import pytest
+
+from conftest import write_result
+from repro.core import TraceRecorder
+from repro.mcmc import BayesianChain
+from repro.seqgen import simulated_dataset
+from repro.simmachine import BARCELONA, X4600, simulate_trace
+
+GENERATIONS = 400
+
+
+@pytest.fixture(scope="module")
+def traces():
+    ds = simulated_dataset(10, 5_000, 500, seed=17)
+    pa = ds.partitioned()
+    out = {}
+    for mode in ("per_partition", "simultaneous"):
+        rec = TraceRecorder()
+        chain = BayesianChain(
+            pa, ds.tree.copy(), seed=4, scheduling=mode,
+            recorder=rec, initial_lengths=ds.true_lengths,
+        )
+        chain.run(GENERATIONS, sample_every=GENERATIONS)
+        out[mode] = rec.finalize(
+            chain.engine.pattern_counts(), chain.engine.states()
+        )
+    return out
+
+
+def test_ext2_bayesian_scheduling(benchmark, traces, results_dir):
+    def table():
+        rows = []
+        for machine in (BARCELONA, X4600):
+            for t in (8, 16):
+                old = simulate_trace(traces["per_partition"], machine, t)
+                new = simulate_trace(traces["simultaneous"], machine, t)
+                rows.append(
+                    (
+                        machine.name, t,
+                        old.total_seconds, new.total_seconds,
+                        old.total_seconds / new.total_seconds,
+                    )
+                )
+        return rows
+
+    rows = benchmark.pedantic(table, rounds=1, iterations=1)
+    lines = [
+        f"EXT2: Bayesian proposal scheduling, {GENERATIONS} generations, "
+        "10 taxa x 10 partitions",
+        f"{'platform':<11} {'threads':>7} {'per-part':>9} {'simult':>9} {'ratio':>6}",
+        "-" * 47,
+    ]
+    for name, t, old, new, ratio in rows:
+        lines.append(f"{name:<11} {t:>7} {old:9.2f} {new:9.2f} {ratio:6.2f}")
+    write_result(results_dir, "ext2_bayesian", "\n".join(lines))
+
+    # simultaneous proposals win, and more so at 16 threads
+    by_key = {(r[0], r[1]): r[4] for r in rows}
+    for platform in ("Barcelona", "x4600"):
+        assert by_key[(platform, 8)] > 1.2
+        assert by_key[(platform, 16)] > by_key[(platform, 8)]
+
+
+def test_ext2_region_counts(traces, results_dir):
+    """per-partition scheduling issues ~P times more regions."""
+    per_part = traces["per_partition"].n_regions
+    simult = traces["simultaneous"].n_regions
+    write_result(
+        results_dir,
+        "ext2_regions",
+        f"EXT2 regions: per-partition {per_part:,} vs simultaneous "
+        f"{simult:,} ({per_part / simult:.1f}x)",
+    )
+    assert per_part > 4 * simult  # 10 partitions -> close to 10x

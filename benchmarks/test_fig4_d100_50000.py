@@ -1,0 +1,52 @@
+"""FIG4 — Paper Figure 4: execution times for d100_50000 with 50
+partitions of 1,000 columns each (full ML tree search, per-partition
+branch lengths) on the four platforms.
+
+Same claims as Figure 3, on the 100-taxon dataset (twice the tree depth:
+more likelihood arrays per traversal, more branches to optimize)."""
+import pytest
+
+from conftest import write_result
+from repro.bench import format_runtime_figure, improvement_factors, runtime_figure
+
+DATASET = "d100_50000_p1000"
+CANDIDATES = 300
+
+
+@pytest.fixture(scope="module")
+def traces(get_trace):
+    return {
+        s: get_trace(DATASET, "search", s, max_candidates=CANDIDATES)
+        for s in ("old", "new")
+    }
+
+
+def test_fig4_runtime_table(benchmark, traces, results_dir):
+    rows = benchmark.pedantic(
+        runtime_figure, args=(traces["old"], traces["new"]), rounds=1, iterations=1
+    )
+    text = format_runtime_figure(
+        rows,
+        "FIG4: d100_50000, 50 x p1000, full ML tree search "
+        "(per-partition branch lengths)",
+    )
+    write_result(results_dir, "fig4_d100_50000", text)
+
+    by_platform = {r.platform: r for r in rows}
+    assert by_platform["Nehalem"].sequential < by_platform["Clovertown"].sequential
+    for row in rows:
+        assert row.new8 < row.old8
+    factors = improvement_factors(rows)
+    for platform in ("Barcelona", "x4600"):
+        assert 2.0 <= factors[platform][16] <= 8.0, factors
+
+
+def test_fig4_runtimes_exceed_fig3(get_trace, traces):
+    """100 taxa cost more than 50 taxa at the same alignment width (the
+    paper's Fig. 4 y-axis tops ~50,000s vs Fig. 3's ~30,000s)."""
+    from repro.simmachine import NEHALEM, simulate_trace
+
+    fig3_new = get_trace("d50_50000_p1000", "search", "new", max_candidates=300)
+    t50 = simulate_trace(fig3_new, NEHALEM, 1).total_seconds
+    t100 = simulate_trace(traces["new"], NEHALEM, 1).total_seconds
+    assert t100 > t50

@@ -1,0 +1,63 @@
+"""FIG6 — Paper Figure 6: speedups on the Intel Nehalem for d50_50000
+(50 x p1000): an unpartitioned analysis vs the new and old parallelization
+approaches for the partitioned analysis, at 2/4/8 threads.
+
+Paper claims reproduced:
+* the unpartitioned analysis scales almost linearly;
+* newPAR's partitioned speedup is "nearly as good as ... a completely
+  unpartitioned analysis, despite the load imbalance problem";
+* oldPAR falls far behind at 8 threads.
+"""
+import pytest
+
+from conftest import write_result
+from repro.bench import format_speedup_figure, speedup_figure
+from repro.simmachine import NEHALEM
+
+DATASET = "d50_50000_p1000"
+CANDIDATES = 300
+
+
+@pytest.fixture(scope="module")
+def traces(get_trace):
+    return {
+        "Unpartitioned": get_trace(
+            DATASET, "search", "new", unpartitioned=True, max_candidates=CANDIDATES
+        ),
+        "New": get_trace(DATASET, "search", "new", max_candidates=CANDIDATES),
+        "Old": get_trace(DATASET, "search", "old", max_candidates=CANDIDATES),
+    }
+
+
+def test_fig6_speedup_curves(benchmark, traces, results_dir):
+    series = benchmark.pedantic(
+        speedup_figure, args=(traces, NEHALEM, (2, 4, 8)), rounds=1, iterations=1
+    )
+    text = format_speedup_figure(
+        series, "FIG6: speedups on Nehalem, d50_50000 (50 x p1000)"
+    )
+    write_result(results_dir, "fig6_speedup_nehalem", text)
+
+    sp = {s.label: s.speedups for s in series}
+    # ordering at every thread count: unpartitioned >= new >> old
+    for t in (2, 4, 8):
+        assert sp["Unpartitioned"][t] >= sp["New"][t] * 0.97
+        assert sp["New"][t] > sp["Old"][t]
+    # paper: new is "nearly as good" as unpartitioned at 8 threads
+    assert sp["New"][8] >= 0.85 * sp["Unpartitioned"][8]
+    # paper Fig. 6 shape: old saturates well below linear
+    assert sp["Old"][8] < 0.75 * sp["New"][8]
+    # speedups grow with threads for all three
+    for label in sp:
+        assert sp[label][2] < sp[label][4] < sp[label][8]
+
+
+def test_fig6_monotone_efficiency_gap(traces):
+    """The old-vs-new gap widens with the thread count (more threads ->
+    less work per barrier for oldPAR)."""
+    sp = {
+        label: speedup_figure({label: tr}, NEHALEM, (2, 4, 8))[0].speedups
+        for label, tr in traces.items()
+    }
+    gaps = [sp["New"][t] / sp["Old"][t] for t in (2, 4, 8)]
+    assert gaps[0] < gaps[1] < gaps[2]

@@ -1,0 +1,53 @@
+"""Microbenchmarks of the four kernel primitives (pytest-benchmark).
+
+Not a paper figure, but the foundation under all of them: these are the
+inner loops whose per-pattern cost the simulator's cost model abstracts.
+Regression-guards the vectorized implementations."""
+import numpy as np
+import pytest
+
+from repro.plk import EigenSystem, SubstitutionModel, discrete_gamma_rates, kernel
+
+M = 5_000
+
+
+@pytest.fixture(scope="module", params=["DNA", "AA"])
+def setup(request):
+    if request.param == "DNA":
+        model = SubstitutionModel.random_gtr(1)
+    else:
+        model = SubstitutionModel.synthetic_aa(1)
+    eig = EigenSystem.from_model(model)
+    rates = discrete_gamma_rates(0.8, 4)
+    rng = np.random.default_rng(0)
+    s = model.states
+    clv_a = rng.random((4, M, s)) + 0.01
+    clv_b = rng.random((4, M, s)) + 0.01
+    p = eig.transition_matrices(0.1, rates)
+    weights = np.ones(M)
+    return model, eig, rates, p, clv_a, clv_b, weights
+
+
+def test_newview_throughput(benchmark, setup):
+    _, _, _, p, clv_a, clv_b, _ = setup
+    benchmark(kernel.newview, p, clv_a, None, p, clv_b, None)
+
+
+def test_evaluate_throughput(benchmark, setup):
+    model, _, _, p, clv_a, clv_b, weights = setup
+    benchmark(
+        kernel.evaluate, p, clv_a, None, clv_b, None, model.frequencies, weights
+    )
+
+
+def test_sumtable_throughput(benchmark, setup):
+    model, eig, _, _, clv_a, clv_b, _ = setup
+    benchmark(kernel.make_sumtable, clv_a, clv_b, eig.u, eig.v, model.frequencies)
+
+
+def test_derivative_throughput(benchmark, setup):
+    model, eig, rates, _, clv_a, clv_b, weights = setup
+    table = kernel.make_sumtable(clv_a, clv_b, eig.u, eig.v, model.frequencies)
+    benchmark(
+        kernel.branch_derivatives, table, eig.eigenvalues, rates, 0.3, weights
+    )

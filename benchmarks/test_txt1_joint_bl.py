@@ -1,0 +1,78 @@
+"""TXT1 — Paper Section V text: "the run time differences between the old
+per-partition parallelization approach (oldPAR) and the new simultaneous
+parallelization approach (newPAR) were insignificant for analyses using a
+joint branch length estimate over all partitions.  The average execution
+time improvement amounts to approximately 5%."
+
+With joint branch lengths every Newton iteration spans all partitions, so
+only the Brent (Q/alpha) phases differ between strategies — a small
+effect.  We assert the improvement is positive but far below the
+per-partition case."""
+import pytest
+
+from conftest import write_result
+from repro.simmachine import PLATFORMS, simulate_trace
+
+DATASET = "d50_50000_p1000"
+
+
+@pytest.fixture(scope="module")
+def traces(get_trace):
+    return {
+        s: get_trace(
+            DATASET, "search", s, branch_mode="joint", max_candidates=150
+        )
+        for s in ("old", "new")
+    }
+
+
+@pytest.fixture(scope="module")
+def pp_traces(get_trace):
+    return {
+        s: get_trace(DATASET, "search", s, max_candidates=300)
+        for s in ("old", "new")
+    }
+
+
+def test_txt1_joint_improvement_small(benchmark, traces, pp_traces, results_dir):
+    def improvements():
+        rows = []
+        for name, machine in PLATFORMS.items():
+            for t in (8, 16):
+                if t > machine.cores:
+                    continue
+                old = simulate_trace(traces["old"], machine, t).total_seconds
+                new = simulate_trace(traces["new"], machine, t).total_seconds
+                rows.append((machine.name, t, old, new, old / new))
+        return rows
+
+    rows = benchmark.pedantic(improvements, rounds=1, iterations=1)
+    lines = [
+        "TXT1: joint branch-length estimate, d50_50000 p1000 tree search",
+        f"{'platform':<12} {'threads':>7} {'old':>9} {'new':>9} {'old/new':>8}",
+        "-" * 50,
+    ]
+    for name, t, old, new, ratio in rows:
+        lines.append(f"{name:<12} {t:>7} {old:9.1f} {new:9.1f} {ratio:8.3f}")
+    write_result(results_dir, "txt1_joint_bl", "\n".join(lines))
+
+    ratios = [r[-1] for r in rows]
+    # improvement exists but is small (paper: ~5%); allow up to ~25%
+    assert all(r >= 0.99 for r in ratios)
+    assert sum(ratios) / len(ratios) < 1.25
+
+
+def test_txt1_joint_much_smaller_than_per_partition(traces, pp_traces):
+    """The joint-BL improvement is a fraction of the per-partition one on
+    the 16-core machines."""
+    from repro.simmachine import X4600
+
+    joint_imp = (
+        simulate_trace(traces["old"], X4600, 16).total_seconds
+        / simulate_trace(traces["new"], X4600, 16).total_seconds
+    )
+    pp_imp = (
+        simulate_trace(pp_traces["old"], X4600, 16).total_seconds
+        / simulate_trace(pp_traces["new"], X4600, 16).total_seconds
+    )
+    assert joint_imp < 0.5 * pp_imp

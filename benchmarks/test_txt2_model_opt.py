@@ -1,0 +1,82 @@
+"""TXT2 — Paper Section V text: "the optimization of ML model parameters
+on a fixed tree ..., even with a per-partition branch length estimate,
+exhibits more computations per synchronization event ...  Therefore, the
+average execution time improvements range between 5% and 10% for model
+parameter optimization on a fixed tree."
+
+Changing Q or alpha forces a full tree traversal per objective evaluation,
+so even oldPAR's regions carry substantial work; the improvement is real
+but much smaller than for tree search."""
+import pytest
+
+from conftest import write_result
+from repro.simmachine import PLATFORMS, simulate_trace
+
+DATASET = "d50_50000_p1000"
+
+
+@pytest.fixture(scope="module")
+def traces(get_trace):
+    return {s: get_trace(DATASET, "modelopt", s) for s in ("old", "new")}
+
+
+@pytest.fixture(scope="module")
+def search_traces(get_trace):
+    return {
+        s: get_trace(DATASET, "search", s, max_candidates=300)
+        for s in ("old", "new")
+    }
+
+
+def test_txt2_model_opt_improvement_moderate(benchmark, traces, results_dir):
+    def improvements():
+        rows = []
+        for machine in PLATFORMS.values():
+            for t in (8, 16):
+                if t > machine.cores:
+                    continue
+                old = simulate_trace(traces["old"], machine, t).total_seconds
+                new = simulate_trace(traces["new"], machine, t).total_seconds
+                rows.append((machine.name, t, old, new, old / new))
+        return rows
+
+    rows = benchmark.pedantic(improvements, rounds=1, iterations=1)
+    lines = [
+        "TXT2: model-parameter optimization on a fixed tree, d50_50000 p1000",
+        f"{'platform':<12} {'threads':>7} {'old':>9} {'new':>9} {'old/new':>8}",
+        "-" * 50,
+    ]
+    for name, t, old, new, ratio in rows:
+        lines.append(f"{name:<12} {t:>7} {old:9.1f} {new:9.1f} {ratio:8.3f}")
+    write_result(results_dir, "txt2_model_opt", "\n".join(lines))
+
+    ratios = [r[-1] for r in rows]
+    # positive but moderate improvement (paper: 5-10%)
+    assert all(r >= 1.0 for r in ratios)
+    mean_imp = sum(ratios) / len(ratios)
+    assert 1.01 <= mean_imp <= 1.6, mean_imp
+
+
+def test_txt2_much_smaller_than_search(traces, search_traces):
+    from repro.simmachine import BARCELONA
+
+    model_imp = (
+        simulate_trace(traces["old"], BARCELONA, 16).total_seconds
+        / simulate_trace(traces["new"], BARCELONA, 16).total_seconds
+    )
+    search_imp = (
+        simulate_trace(search_traces["old"], BARCELONA, 16).total_seconds
+        / simulate_trace(search_traces["new"], BARCELONA, 16).total_seconds
+    )
+    assert model_imp < search_imp
+
+
+def test_txt2_same_optimum_reached(get_trace):
+    """Numerical equivalence check at capture time is implicit (the cached
+    traces came from runs that optimized to convergence); here we verify
+    the schedules carried identical work."""
+    old = get_trace(DATASET, "modelopt", "old")
+    new = get_trace(DATASET, "modelopt", "new")
+    to, tn = old.op_totals(), new.op_totals()
+    for op in to:
+        assert to[op] == pytest.approx(tn[op], rel=0.1)

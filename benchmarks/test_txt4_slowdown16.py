@@ -1,0 +1,78 @@
+"""TXT4 — Paper Section V text: "the parallel slowdown observed on 16
+cores (AMD Barcelona, Sun x4600) for oldPAR compared to run times on 8
+cores can be alleviated by our newPAR method."
+
+We decompose WHERE the 16-core time goes: for oldPAR most of the added
+threads' capacity is burned in synchronization + idling (its regions carry
+~60 patterns per thread against a ~20-40us barrier), while newPAR regions
+stay compute-dominated."""
+import pytest
+
+from conftest import write_result
+from repro.simmachine import BARCELONA, X4600, simulate_trace
+
+DATASET = "d50_50000_p1000"
+
+
+@pytest.fixture(scope="module")
+def traces(get_trace):
+    return {
+        s: get_trace(DATASET, "search", s, max_candidates=300)
+        for s in ("old", "new")
+    }
+
+
+def test_txt4_scaling_8_to_16(benchmark, traces, results_dir):
+    def table():
+        rows = []
+        for machine in (BARCELONA, X4600):
+            for strategy in ("old", "new"):
+                r8 = simulate_trace(traces[strategy], machine, 8)
+                r16 = simulate_trace(traces[strategy], machine, 16)
+                rows.append(
+                    (
+                        machine.name,
+                        strategy,
+                        r8.total_seconds,
+                        r16.total_seconds,
+                        r8.total_seconds / r16.total_seconds,
+                        r16.efficiency,
+                        r16.sync_seconds / r16.total_seconds,
+                    )
+                )
+        return rows
+
+    rows = benchmark.pedantic(table, rounds=1, iterations=1)
+    lines = [
+        "TXT4: 8 -> 16 core scaling, d50_50000 p1000 tree search",
+        f"{'platform':<11} {'strategy':<9} {'T=8':>9} {'T=16':>9} "
+        f"{'gain':>6} {'eff@16':>7} {'sync%':>6}",
+        "-" * 62,
+    ]
+    for name, strat, t8, t16, gain, eff, syncfrac in rows:
+        lines.append(
+            f"{name:<11} {strat:<9} {t8:9.1f} {t16:9.1f} {gain:6.2f} "
+            f"{eff:7.1%} {syncfrac:6.1%}"
+        )
+    write_result(results_dir, "txt4_slowdown16", "\n".join(lines))
+
+    by_key = {(r[0], r[1]): r for r in rows}
+    for platform in ("Barcelona", "x4600"):
+        old_gain = by_key[(platform, "old")][4]
+        new_gain = by_key[(platform, "new")][4]
+        # oldPAR: stagnation or slowdown; newPAR: close to 2x
+        assert old_gain < 1.25, (platform, old_gain)
+        assert new_gain > 1.5, (platform, new_gain)
+        # oldPAR's 16-core run is sync-dominated; newPAR's is not
+        old_sync = by_key[(platform, "old")][6]
+        new_sync = by_key[(platform, "new")][6]
+        assert old_sync > 0.4, (platform, old_sync)
+        assert new_sync < 0.1, (platform, new_sync)
+
+
+def test_txt4_idle_time_structure(traces):
+    """newPAR at 16 threads keeps threads busy; oldPAR leaves most of
+    their time idle+sync."""
+    r_old = simulate_trace(traces["old"], X4600, 16)
+    r_new = simulate_trace(traces["new"], X4600, 16)
+    assert r_new.efficiency > 2 * r_old.efficiency

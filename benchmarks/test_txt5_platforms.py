@@ -1,0 +1,69 @@
+"""TXT5 — Paper Section V text, platform observations:
+
+* "performance on Intel processors for sequential program runs is
+  significantly better than performance on AMD processors";
+* "with 8 threads the AMD processors are on par with the Intel
+  Clovertown ... all 8 cores of the Clovertown system share a common
+  front-side bus ... whereas the AMD NUMA architecture provides a higher
+  aggregated memory bandwidth";
+* "the Intel Nehalem system clearly outperforms all other systems" and
+  "the sequential runtime on the Nehalem is almost 40% lower than on the
+  Clovertown".
+"""
+import pytest
+
+from conftest import write_result
+from repro.simmachine import BARCELONA, CLOVERTOWN, NEHALEM, X4600, simulate_trace
+
+DATASET = "d50_50000_p1000"
+
+
+@pytest.fixture(scope="module")
+def trace(get_trace):
+    return get_trace(DATASET, "search", "new", max_candidates=300)
+
+
+def test_txt5_platform_ranking(benchmark, trace, results_dir):
+    def table():
+        rows = {}
+        for machine in (NEHALEM, CLOVERTOWN, BARCELONA, X4600):
+            seq = simulate_trace(trace, machine, 1).total_seconds
+            par8 = simulate_trace(trace, machine, 8).total_seconds
+            rows[machine.name] = (seq, par8)
+        return rows
+
+    rows = benchmark.pedantic(table, rounds=1, iterations=1)
+    lines = [
+        "TXT5: platform comparison, d50_50000 p1000 tree search (newPAR)",
+        f"{'platform':<12} {'sequential':>11} {'8 threads':>10}",
+        "-" * 36,
+    ]
+    for name, (seq, par8) in rows.items():
+        lines.append(f"{name:<12} {seq:11.1f} {par8:10.1f}")
+    write_result(results_dir, "txt5_platforms", "\n".join(lines))
+
+    # sequential: Intel beats AMD; Nehalem ~40% below Clovertown
+    assert rows["Nehalem"][0] < rows["Clovertown"][0]
+    assert rows["Clovertown"][0] < rows["Barcelona"][0]
+    assert rows["Clovertown"][0] < rows["x4600"][0]
+    ratio = rows["Nehalem"][0] / rows["Clovertown"][0]
+    assert 0.5 <= ratio <= 0.75, ratio
+
+    # 8 threads: AMD on par with Clovertown (within 25%)
+    for amd in ("Barcelona", "x4600"):
+        assert rows[amd][1] == pytest.approx(rows["Clovertown"][1], rel=0.25)
+
+    # Nehalem clearly fastest in parallel
+    others = [rows[n][1] for n in ("Clovertown", "Barcelona", "x4600")]
+    assert rows["Nehalem"][1] < 0.75 * min(others)
+
+
+def test_txt5_memory_bound_explanation():
+    """The model encodes the paper's explanation: Clovertown's per-thread
+    bandwidth collapses at 8 threads; the NUMA machines' does not."""
+    fsb8 = CLOVERTOWN.bandwidth_per_thread(8)
+    fsb1 = CLOVERTOWN.bandwidth_per_thread(1)
+    assert fsb8 < fsb1 / 3
+    numa8 = BARCELONA.bandwidth_per_thread(8)
+    numa1 = BARCELONA.bandwidth_per_thread(1)
+    assert numa8 > numa1 / 2

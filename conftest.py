@@ -1,0 +1,9 @@
+"""Ensure the src layout is importable even without an editable install
+(the offline evaluation environment lacks network access for pip's build
+isolation)."""
+import sys
+from pathlib import Path
+
+_SRC = str(Path(__file__).parent / "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

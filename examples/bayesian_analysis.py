@@ -1,0 +1,66 @@
+"""Bayesian partitioned analysis with Metropolis coupling (MC3).
+
+Paper Section IV discusses how the load-balance problem transfers to
+Bayesian inference and how proposals should be redesigned.  This example
+runs a small MC3 analysis with the *simultaneous* proposal scheduling the
+paper recommends, shows posterior summaries per partition, and contrasts
+the two schedulings' parallel-region counts.
+
+Run:  python examples/bayesian_analysis.py     (~1 minute)
+"""
+import numpy as np
+
+from repro.core import TraceRecorder
+from repro.mcmc import BayesianChain, MetropolisCoupledSampler
+from repro.plk import Alignment, PartitionedAlignment, SubstitutionModel, uniform_scheme
+from repro.seqgen import random_topology_with_lengths, simulate_alignment
+
+
+def main() -> None:
+    rng = np.random.default_rng(31)
+    tree, lengths = random_topology_with_lengths(10, rng)
+    # Two genes with very different rate heterogeneity.
+    true_alphas = (0.4, 2.0)
+    blocks = []
+    for i, alpha in enumerate(true_alphas):
+        aln = simulate_alignment(
+            tree, lengths, SubstitutionModel.random_gtr(i), alpha, 1_500, rng
+        )
+        blocks.append(aln.matrix)
+    alignment = Alignment(tree.taxa, np.concatenate(blocks, axis=1))
+    data = PartitionedAlignment(alignment, uniform_scheme(3_000, 1_500))
+
+    # --- MC3 with 3 chains -------------------------------------------------
+    sampler = MetropolisCoupledSampler(
+        data, tree, n_chains=3, heat=0.25, seed=3,
+        scheduling="simultaneous", initial_lengths=lengths,
+    )
+    samples = sampler.run(1_200, sample_every=10)
+    alphas = samples.alpha_matrix()[30:]  # discard burn-in
+
+    print(f"MC3: 3 chains, 1,200 generations, swap acceptance "
+          f"{sampler.swaps_accepted}/{sampler.swaps_proposed}")
+    print(f"cold-chain lnL (last): {samples.loglikelihood[-1]:,.2f}\n")
+    print(f"{'partition':<10} {'true alpha':>10} {'post. median':>13} "
+          f"{'95% interval':>18}")
+    for p, true in enumerate(true_alphas):
+        lo, med, hi = np.percentile(alphas[:, p], [2.5, 50, 97.5])
+        print(f"gene{p:<6} {true:>10.2f} {med:>13.2f} "
+              f"{'[' + format(lo, '.2f') + ', ' + format(hi, '.2f') + ']':>18}")
+
+    # --- scheduling comparison ---------------------------------------------
+    print("\nproposal-scheduling comparison (400 generations each):")
+    for mode in ("per_partition", "simultaneous"):
+        rec = TraceRecorder()
+        chain = BayesianChain(
+            data, tree.copy(), seed=9, scheduling=mode,
+            recorder=rec, initial_lengths=lengths,
+        )
+        chain.run(400, sample_every=400)
+        trace = rec.finalize(chain.engine.pattern_counts(), chain.engine.states())
+        print(f"  {mode:<14} {trace.n_regions:5d} parallel regions "
+              f"(acceptance {chain.acceptance_rate():.2f})")
+
+
+if __name__ == "__main__":
+    main()

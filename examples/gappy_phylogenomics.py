@@ -1,0 +1,65 @@
+"""Gappy phylogenomic alignments and induced-subtree evaluation.
+
+Real multi-gene matrices have "data holes" (paper Fig. 2): most genes are
+sequenced for only a subset of taxa.  With per-partition branch lengths —
+the estimate the paper argues for — each gene's likelihood can be computed
+EXACTLY on the subtree its covered taxa span, which is the basis of the
+1-2 order-of-magnitude speedup of the paper's reference [32].
+
+Run:  python examples/gappy_phylogenomics.py
+"""
+import numpy as np
+
+from repro.core import PartitionedEngine
+from repro.plk import GappyEngine, SubstitutionModel, taxon_coverage, traversal_cost_ratio
+from repro.seqgen import coverage_fraction, gappy_dataset, bootstrap_replicate, split_support
+
+
+def main() -> None:
+    ds = gappy_dataset(
+        n_taxa=32, n_partitions=6, partition_length=300, coverage=0.35, seed=4
+    )
+    data = ds.partitioned()
+    cov = taxon_coverage(data)
+    print(f"{ds.alignment.n_taxa} taxa x {ds.alignment.n_sites} sites, "
+          f"{data.n_partitions} genes, cell coverage "
+          f"{coverage_fraction(data):.0%}")
+    print("taxa per gene:", cov.sum(axis=1).tolist())
+
+    models = [SubstitutionModel.random_gtr(p) for p in range(6)]
+    alphas = [1.0] * 6
+
+    # Full-tree evaluation: every partition traverses all n-2 inner nodes.
+    full = PartitionedEngine(
+        data, ds.tree.copy(), models=models, alphas=alphas,
+        initial_lengths=ds.true_lengths,
+    )
+    lnl_full = full.loglikelihood()
+
+    # Induced-subtree evaluation: each gene only traverses its own subtree.
+    gap = GappyEngine(
+        data, ds.tree, models=models, alphas=alphas,
+        initial_lengths=ds.true_lengths,
+    )
+    lnl_gap = gap.loglikelihood()
+
+    print(f"\nfull-tree lnL        : {lnl_full:,.4f}")
+    print(f"induced-subtree lnL  : {lnl_gap:,.4f}")
+    print(f"difference           : {abs(lnl_full - lnl_gap):.2e}   (exact)")
+    print(f"inner nodes per gene : {gap.inner_node_counts().tolist()} "
+          f"(full tree: {ds.tree.n_taxa - 2})")
+    print(f"traversal cost saving: {traversal_cost_ratio(data, ds.tree):.1f}x")
+
+    # Bootstrap support on the gappy data (the coarse-grained layer).
+    rng = np.random.default_rng(0)
+    replicate = bootstrap_replicate(data, rng)
+    rep_engine = PartitionedEngine(
+        replicate, ds.tree.copy(), models=models, alphas=alphas,
+        initial_lengths=ds.true_lengths,
+    )
+    print(f"\none bootstrap replicate lnL: {rep_engine.loglikelihood():,.2f} "
+          "(pattern arrays shared with the original — replicates are free)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,91 @@
+"""Partitioned multi-gene analysis (the paper's Fig. 2 setting).
+
+Builds a 3-gene phylogenomic alignment where each gene evolved under its
+own substitution model, Gamma shape and rate multiplier; defines the
+partition scheme with a RAxML-style partition file; and runs a partitioned
+analysis with per-partition branch lengths, recovering distinct parameter
+estimates per gene.
+
+Run:  python examples/partitioned_analysis.py
+"""
+import numpy as np
+
+from repro.core import PartitionedEngine, TraceRecorder, optimize_model
+from repro.plk import (
+    Alignment,
+    PartitionedAlignment,
+    SubstitutionModel,
+    parse_partition_file,
+)
+from repro.seqgen import random_topology_with_lengths, simulate_alignment
+
+PARTITION_FILE = """
+# gene boundaries, RAxML syntax (1-based, inclusive)
+DNA, rbcL  = 1-1400
+DNA, matK  = 1401-2200
+DNA, cytb  = 2201-3600
+"""
+
+GENE_ALPHAS = {"rbcL": 0.35, "matK": 1.0, "cytb": 2.5}
+GENE_RATE_MULTIPLIER = {"rbcL": 0.6, "matK": 1.0, "cytb": 1.8}
+
+
+def main() -> None:
+    rng = np.random.default_rng(2009)
+    tree, lengths = random_topology_with_lengths(16, rng)
+    scheme = parse_partition_file(PARTITION_FILE)
+
+    # Evolve each gene under its own model — different alpha (rate
+    # heterogeneity), different GTR rates, different overall speed.
+    blocks = []
+    for i, part in enumerate(scheme):
+        model = SubstitutionModel.random_gtr(seed=100 + i)
+        aln = simulate_alignment(
+            tree,
+            lengths * GENE_RATE_MULTIPLIER[part.name],
+            model,
+            alpha=GENE_ALPHAS[part.name],
+            n_sites=part.n_sites,
+            rng=rng,
+        )
+        blocks.append(aln.matrix)
+    alignment = Alignment(tree.taxa, np.concatenate(blocks, axis=1))
+    data = PartitionedAlignment(alignment, scheme)
+    print(f"{data.n_partitions} partitions, patterns per gene: "
+          f"{data.pattern_counts().tolist()}")
+
+    # Partitioned analysis: per-partition Q, alpha AND branch lengths,
+    # optimized with the paper's newPAR simultaneous strategy; the
+    # recorder captures the parallel schedule as a side effect.
+    recorder = TraceRecorder()
+    engine = PartitionedEngine(
+        data,
+        tree,
+        branch_mode="per_partition",
+        initial_lengths=lengths,
+        recorder=recorder,
+    )
+    lnl = optimize_model(engine, strategy="new", max_rounds=4)
+    print(f"\npartitioned log-likelihood: {lnl:,.2f}\n")
+
+    print(f"{'gene':<6} {'true alpha':>10} {'est alpha':>10} "
+          f"{'true rate x':>11} {'est tree len x':>14}")
+    base_len = None
+    for part, engine_part in zip(scheme, engine.parts):
+        tree_len = engine_part.branch_lengths.sum()
+        if base_len is None:
+            base_len = tree_len / GENE_RATE_MULTIPLIER[part.name]
+        print(
+            f"{part.name:<6} {GENE_ALPHAS[part.name]:>10.2f} "
+            f"{engine_part.alpha:>10.2f} "
+            f"{GENE_RATE_MULTIPLIER[part.name]:>11.2f} "
+            f"{tree_len / base_len:>14.2f}"
+        )
+
+    trace = recorder.finalize(engine.pattern_counts(), engine.states())
+    print(f"\ncaptured schedule: {trace.n_regions} parallel regions, "
+          f"op totals {trace.op_totals()}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+"""Quickstart: compute and optimize a phylogenetic likelihood.
+
+Simulates a small DNA alignment on a known tree, then uses the public API
+to (1) compute the log-likelihood of the true tree, (2) optimize branch
+lengths and model parameters, and (3) verify the fundamental PLK
+invariant — the score does not depend on where the virtual root is placed.
+
+Run:  python examples/quickstart.py
+"""
+import numpy as np
+
+from repro.core import PartitionedEngine, optimize_model
+from repro.plk import (
+    PartitionedAlignment,
+    SubstitutionModel,
+    uniform_scheme,
+    write_newick,
+)
+from repro.seqgen import random_topology_with_lengths, simulate_alignment
+
+
+def main() -> None:
+    rng = np.random.default_rng(42)
+
+    # 1. A 12-taxon tree and a 3,000-column alignment evolved on it under
+    #    GTR with Gamma-distributed rate heterogeneity.
+    tree, true_lengths = random_topology_with_lengths(12, rng)
+    true_model = SubstitutionModel.random_gtr(seed=7)
+    alignment = simulate_alignment(
+        tree, true_lengths, true_model, alpha=0.8, n_sites=3_000, rng=rng
+    )
+    print(f"alignment: {alignment.n_taxa} taxa x {alignment.n_sites} sites")
+
+    # 2. Wrap it as a single partition and build the likelihood engine.
+    data = PartitionedAlignment(alignment, uniform_scheme(3_000, 3_000))
+    print(f"distinct patterns (m'): {data.n_patterns}")
+    engine = PartitionedEngine(data, tree, initial_lengths=true_lengths)
+
+    lnl_start = engine.loglikelihood()
+    print(f"log-likelihood under JC69 defaults : {lnl_start:,.2f}")
+
+    # 3. The virtual root can sit on any branch — same score (Felsenstein
+    #    pruning under a time-reversible model).
+    scores = [engine.loglikelihood(root_edge=e) for e in (0, 5, tree.n_edges - 1)]
+    spread = max(scores) - min(scores)
+    print(f"root-placement invariance: spread = {spread:.2e}")
+
+    # 4. Optimize everything: GTR rates, Gamma shape, branch lengths.
+    lnl_opt = optimize_model(engine, strategy="new", max_rounds=5)
+    print(f"log-likelihood after optimization  : {lnl_opt:,.2f}  "
+          f"(improved by {lnl_opt - lnl_start:,.2f})")
+
+    part = engine.parts[0]
+    print(f"estimated alpha: {part.alpha:.3f} (truth: 0.8)")
+    print(f"estimated rates: {np.round(part.model.rates, 3)}")
+    print(f"true rates     : {np.round(true_model.rates, 3)}")
+
+    # 5. Export the optimized tree.
+    newick = write_newick(tree, part.branch_lengths)
+    print(f"optimized tree : {newick[:88]}...")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,29 @@
+"""Benchmark harness: experiment capture/caching and paper-style reports."""
+from .diagnostics import ScheduleDiagnostics, diagnose_trace
+from .report import (
+    FIGURE_PLATFORMS,
+    RuntimeRow,
+    SpeedupSeries,
+    format_runtime_figure,
+    format_speedup_figure,
+    improvement_factors,
+    runtime_figure,
+    speedup_figure,
+)
+from .runner import cache_dir, cached_trace, capture_experiment
+
+__all__ = [
+    "FIGURE_PLATFORMS",
+    "ScheduleDiagnostics",
+    "diagnose_trace",
+    "RuntimeRow",
+    "SpeedupSeries",
+    "cache_dir",
+    "cached_trace",
+    "capture_experiment",
+    "format_runtime_figure",
+    "format_speedup_figure",
+    "improvement_factors",
+    "runtime_figure",
+    "speedup_figure",
+]

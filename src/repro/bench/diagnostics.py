@@ -1,0 +1,99 @@
+"""Schedule diagnostics: where does a trace's parallel time go?
+
+Machine-independent metrics of a captured schedule that predict its
+parallel behaviour before any simulation:
+
+* region-size distribution — oldPAR schedules are dominated by regions
+  whose serial work is a single partition's patterns;
+* per-thread *shareability* — for T threads, the average fraction of a
+  region's work the busiest thread holds (1/T is perfect);
+* the synchronization-to-work ratio under a given barrier cost.
+
+Used by the ``trace_anatomy`` example and the ablation benchmarks.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.trace import Trace
+from ..parallel.distribution import partition_thread_counts
+
+__all__ = ["ScheduleDiagnostics", "diagnose_trace"]
+
+
+@dataclass
+class ScheduleDiagnostics:
+    """Summary statistics of a captured schedule."""
+
+    n_regions: int
+    #: serial pattern-ops per region: min / median / mean / max
+    region_ops_quantiles: tuple[float, float, float, float]
+    #: fraction of regions touching a single partition
+    single_partition_fraction: float
+    #: mean over regions of (busiest thread's share of the region's work)
+    #: for the given thread count; 1/T == perfectly balanced
+    mean_busiest_share: float
+    #: total serial pattern-ops
+    total_ops: int
+    n_threads: int
+
+    def balance_efficiency(self) -> float:
+        """Ideal-machine parallel efficiency implied by the schedule alone
+        (no sync costs): 1 / (T * mean busiest share)."""
+        return 1.0 / (self.n_threads * self.mean_busiest_share)
+
+    def summary(self) -> str:
+        lo, med, mean, hi = self.region_ops_quantiles
+        return (
+            f"regions={self.n_regions:,}  ops/region median={med:,.0f} "
+            f"mean={mean:,.0f}  single-partition={self.single_partition_fraction:.0%}  "
+            f"balance-eff@{self.n_threads}T={self.balance_efficiency():.0%}"
+        )
+
+
+def diagnose_trace(
+    trace: Trace, n_threads: int = 16, distribution: str = "cyclic"
+) -> ScheduleDiagnostics:
+    """Compute machine-independent schedule metrics for a trace."""
+    if trace.pattern_counts is None:
+        raise ValueError("trace not finalized")
+    counts = trace.pattern_counts
+    offsets = np.concatenate([[0], np.cumsum(counts)[:-1]])
+    total_patterns = int(counts.sum())
+    shares = {
+        p: partition_thread_counts(
+            distribution, int(offsets[p]), int(counts[p]), total_patterns, n_threads
+        ).astype(np.float64)
+        for p in range(len(counts))
+    }
+
+    region_ops: list[float] = []
+    busiest: list[float] = []
+    single = 0
+    for region in trace.regions:
+        ops = region.total_pattern_ops()
+        region_ops.append(ops)
+        if len(region.active_partitions()) == 1:
+            single += 1
+        work = np.zeros(n_threads)
+        for item in region.items:
+            work += shares[item.partition] * item.count
+        total = work.sum()
+        busiest.append(float(work.max() / total) if total > 0 else 1.0)
+
+    ops_arr = np.asarray(region_ops)
+    return ScheduleDiagnostics(
+        n_regions=trace.n_regions,
+        region_ops_quantiles=(
+            float(ops_arr.min()),
+            float(np.median(ops_arr)),
+            float(ops_arr.mean()),
+            float(ops_arr.max()),
+        ),
+        single_partition_fraction=single / max(trace.n_regions, 1),
+        mean_busiest_share=float(np.mean(busiest)),
+        total_ops=int(ops_arr.sum()),
+        n_threads=n_threads,
+    )

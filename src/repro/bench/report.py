@@ -1,0 +1,140 @@
+"""Paper-style result tables from simulator replays.
+
+Each figure in the paper's evaluation is a set of runtimes or speedups
+derived from (trace, platform, threads, strategy) combinations; the
+helpers here produce exactly the rows/series the figures plot, as plain
+data plus formatted text (EXPERIMENTS.md embeds their output).
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.trace import Trace
+from ..simmachine.machine import MachineSpec
+from ..simmachine.platforms import BARCELONA, CLOVERTOWN, NEHALEM, X4600
+from ..simmachine.simulator import simulate_trace
+
+__all__ = [
+    "RuntimeRow",
+    "runtime_figure",
+    "format_runtime_figure",
+    "speedup_figure",
+    "format_speedup_figure",
+    "improvement_factors",
+]
+
+#: the paper's platform order in Figures 3-5
+FIGURE_PLATFORMS: tuple[MachineSpec, ...] = (NEHALEM, CLOVERTOWN, BARCELONA, X4600)
+
+
+@dataclass
+class RuntimeRow:
+    """One platform's bar group in a Fig. 3/4/5-style plot."""
+
+    platform: str
+    sequential: float
+    old8: float
+    new8: float
+    old16: float | None = None
+    new16: float | None = None
+
+    def improvement(self, threads: int) -> float | None:
+        """oldPAR/newPAR runtime ratio (the paper's 'improvement')."""
+        if threads == 8:
+            return self.old8 / self.new8
+        if threads == 16 and self.old16 and self.new16:
+            return self.old16 / self.new16
+        return None
+
+
+def runtime_figure(
+    old_trace: Trace,
+    new_trace: Trace,
+    platforms: tuple[MachineSpec, ...] = FIGURE_PLATFORMS,
+    distribution: str = "cyclic",
+) -> list[RuntimeRow]:
+    """The Fig. 3/4/5 data: sequential, old/new at 8 threads, old/new at
+    16 threads (where the platform has 16 cores)."""
+    rows: list[RuntimeRow] = []
+    for machine in platforms:
+        seq = simulate_trace(new_trace, machine, 1, distribution).total_seconds
+        row = RuntimeRow(
+            platform=machine.name,
+            sequential=seq,
+            old8=simulate_trace(old_trace, machine, 8, distribution).total_seconds,
+            new8=simulate_trace(new_trace, machine, 8, distribution).total_seconds,
+        )
+        if machine.cores >= 16:
+            row.old16 = simulate_trace(old_trace, machine, 16, distribution).total_seconds
+            row.new16 = simulate_trace(new_trace, machine, 16, distribution).total_seconds
+        rows.append(row)
+    return rows
+
+
+def format_runtime_figure(rows: list[RuntimeRow], title: str) -> str:
+    out = [title]
+    header = (
+        f"{'platform':<12} {'sequential':>11} {'old-8':>9} {'new-8':>9} "
+        f"{'old-16':>9} {'new-16':>9} {'imp@8':>6} {'imp@16':>7}"
+    )
+    out.append(header)
+    out.append("-" * len(header))
+    for r in rows:
+        o16 = f"{r.old16:9.1f}" if r.old16 is not None else f"{'-':>9}"
+        n16 = f"{r.new16:9.1f}" if r.new16 is not None else f"{'-':>9}"
+        i16 = f"{r.improvement(16):7.2f}" if r.improvement(16) else f"{'-':>7}"
+        out.append(
+            f"{r.platform:<12} {r.sequential:11.1f} {r.old8:9.1f} {r.new8:9.1f} "
+            f"{o16} {n16} {r.improvement(8):6.2f} {i16}"
+        )
+    return "\n".join(out)
+
+
+@dataclass
+class SpeedupSeries:
+    """One curve in a Fig. 6-style speedup plot."""
+
+    label: str
+    speedups: dict[int, float] = field(default_factory=dict)
+
+
+def speedup_figure(
+    traces: dict[str, Trace],
+    machine: MachineSpec = NEHALEM,
+    thread_counts: tuple[int, ...] = (2, 4, 8),
+    distribution: str = "cyclic",
+) -> list[SpeedupSeries]:
+    """Fig. 6: speedups over the matching 1-thread replay for each labelled
+    trace (``{"Unpartitioned": ..., "New": ..., "Old": ...}``)."""
+    series: list[SpeedupSeries] = []
+    for label, trace in traces.items():
+        base = simulate_trace(trace, machine, 1, distribution).total_seconds
+        sp = {
+            t: base / simulate_trace(trace, machine, t, distribution).total_seconds
+            for t in thread_counts
+        }
+        series.append(SpeedupSeries(label=label, speedups=sp))
+    return series
+
+
+def format_speedup_figure(series: list[SpeedupSeries], title: str) -> str:
+    threads = sorted({t for s in series for t in s.speedups})
+    out = [title, f"{'threads':<16}" + "".join(f"{t:>8}" for t in threads)]
+    out.append("-" * (16 + 8 * len(threads)))
+    for s in series:
+        out.append(
+            f"{s.label:<16}"
+            + "".join(f"{s.speedups.get(t, float('nan')):8.2f}" for t in threads)
+        )
+    return "\n".join(out)
+
+
+def improvement_factors(rows: list[RuntimeRow]) -> dict[str, dict[int, float]]:
+    """Per-platform old/new improvement factors at 8 and 16 threads."""
+    out: dict[str, dict[int, float]] = {}
+    for r in rows:
+        entry: dict[int, float] = {8: r.improvement(8)}
+        if r.improvement(16):
+            entry[16] = r.improvement(16)
+        out[r.platform] = entry
+    return out

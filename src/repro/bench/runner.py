@@ -1,0 +1,124 @@
+"""Experiment runner: capture (and cache) analysis traces for benchmarks.
+
+Trace capture means running the *real* optimizers and search on the real
+(simulated-data) likelihood kernel — expensive for the 50,000-column
+datasets — so captured traces are pickled to a cache directory keyed by
+the experiment parameters.  Benchmarks then replay cached traces through
+the machine simulator, which is fast and deterministic.
+
+Set ``REPRO_TRACE_CACHE`` to relocate the cache (default:
+``~/.cache/repro-traces``).  Delete the directory to force recapture.
+"""
+from __future__ import annotations
+
+import os
+import pickle
+from pathlib import Path
+from typing import Callable
+
+from ..core.analysis import (
+    run_model_optimization,
+    run_tree_search,
+    unpartitioned_view,
+)
+from ..core.trace import Trace
+from ..seqgen.datasets import paper_dataset
+
+__all__ = ["cache_dir", "cached_trace", "capture_experiment"]
+
+#: bump to invalidate caches when capture semantics change
+CACHE_VERSION = 5
+
+
+def cache_dir() -> Path:
+    root = os.environ.get("REPRO_TRACE_CACHE")
+    path = Path(root) if root else Path.home() / ".cache" / "repro-traces"
+    path.mkdir(parents=True, exist_ok=True)
+    return path
+
+
+def cached_trace(key: str, builder: Callable[[], Trace]) -> Trace:
+    """Fetch a trace from the cache, building and storing it on a miss."""
+    path = cache_dir() / f"v{CACHE_VERSION}_{key}.pkl"
+    if path.exists():
+        with path.open("rb") as fh:
+            return pickle.load(fh)
+    trace = builder()
+    tmp = path.with_suffix(".tmp")
+    with tmp.open("wb") as fh:
+        pickle.dump(trace, fh)
+    tmp.replace(path)
+    return trace
+
+
+def capture_experiment(
+    dataset: str,
+    analysis: str,
+    strategy: str,
+    branch_mode: str = "per_partition",
+    unpartitioned: bool = False,
+    radius: int = 2,
+    max_rounds: int = 1,
+    max_candidates: int | None = 150,
+    seed: int = 0,
+) -> Trace:
+    """Capture one (dataset, analysis, strategy, mode) schedule.
+
+    Parameters
+    ----------
+    dataset:
+        Paper dataset id (``d50_50000_p1000`` or ``r125_19839``).
+    analysis:
+        ``"search"`` (full ML tree search) or ``"modelopt"`` (model
+        parameter optimization on the fixed input tree).
+    strategy:
+        ``"old"`` or ``"new"``.
+    unpartitioned:
+        Collapse the scheme to one partition (the Fig. 6 baseline).
+    """
+    if analysis not in ("search", "modelopt"):
+        raise ValueError("analysis must be 'search' or 'modelopt'")
+    key = "_".join(
+        [
+            dataset,
+            analysis,
+            strategy,
+            branch_mode,
+            "unpart" if unpartitioned else "part",
+            f"r{radius}",
+            f"m{max_rounds}",
+            f"c{max_candidates}",
+            f"s{seed}",
+        ]
+    )
+
+    def build() -> Trace:
+        ds = paper_dataset(dataset)
+        data = ds.partitioned()
+        if unpartitioned:
+            data = unpartitioned_view(data)
+        if analysis == "modelopt":
+            run = run_model_optimization(
+                data,
+                ds.tree,
+                strategy=strategy,
+                branch_mode=branch_mode,
+                initial_lengths=ds.true_lengths,
+                max_rounds=max_rounds + 1,
+                seed=seed,
+            )
+        else:
+            run = run_tree_search(
+                data,
+                ds.tree,
+                strategy=strategy,
+                branch_mode=branch_mode,
+                initial_lengths=ds.true_lengths,
+                radius=radius,
+                max_rounds=max_rounds,
+                max_candidates=max_candidates,
+                seed=seed,
+            )
+        return run.trace
+
+    return cached_trace(key, build)

@@ -1,0 +1,276 @@
+"""Command-line interface (a miniature RAxML).
+
+Subcommands
+-----------
+``simulate``
+    Generate a benchmark dataset (alignment + partition file + true tree).
+``analyze``
+    Model-parameter optimization and/or tree search on a PHYLIP/FASTA
+    alignment with a RAxML-style partition file, under either scheduling
+    strategy, optionally on real parallel workers.
+``replay``
+    Capture a paper experiment's schedule and replay it on the simulated
+    platforms (regenerates Figure-3-style tables from the shell).
+
+Examples
+--------
+::
+
+    python -m repro simulate --taxa 20 --sites 5000 --partition-length 1000 \
+        --out data/d20_5000
+    python -m repro analyze --alignment data/d20_5000.phy \
+        --partitions data/d20_5000.part --search --strategy new
+    python -m repro replay --dataset d50_50000_p1000 --analysis search \
+        --candidates 60
+"""
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Load-balanced partitioned phylogenetic likelihood "
+        "analyses (Stamatakis & Ott, ICPP 2009 reproduction).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sim = sub.add_parser("simulate", help="generate a benchmark dataset")
+    sim.add_argument("--taxa", type=int, required=True)
+    sim.add_argument("--sites", type=int, required=True)
+    sim.add_argument("--partition-length", type=int, default=1_000)
+    sim.add_argument("--seed", type=int, default=42)
+    sim.add_argument(
+        "--out", required=True,
+        help="output prefix; writes <out>.phy, <out>.part, <out>.nwk",
+    )
+
+    ana = sub.add_parser("analyze", help="run a partitioned ML analysis")
+    ana.add_argument("--alignment", required=True, help="PHYLIP or FASTA file")
+    ana.add_argument("--partitions", help="RAxML-style partition file "
+                     "(default: single partition)")
+    ana.add_argument("--tree", help="starting tree (Newick; default: "
+                     "randomized stepwise-addition parsimony)")
+    ana.add_argument("--strategy", choices=("old", "new"), default="new")
+    ana.add_argument("--branch-mode", choices=("joint", "per_partition"),
+                     default="per_partition")
+    ana.add_argument("--search", action="store_true",
+                     help="run an SPR tree search (default: model "
+                     "optimization on the fixed/starting tree only)")
+    ana.add_argument("--radius", type=int, default=5, help="SPR radius")
+    ana.add_argument("--rounds", type=int, default=5)
+    ana.add_argument("--seed", type=int, default=0)
+    ana.add_argument("--out-tree", help="write the final tree here")
+    ana.add_argument("--checkpoint", help="write a JSON checkpoint of the "
+                     "optimized state here")
+    ana.add_argument("--resume", help="resume from a checkpoint written by "
+                     "--checkpoint (overrides --tree)")
+    ana.add_argument("--trace-summary", action="store_true",
+                     help="print the captured parallel-schedule statistics")
+
+    rep = sub.add_parser("replay", help="capture + replay a paper experiment")
+    rep.add_argument("--dataset", required=True,
+                     help="paper dataset id, e.g. d50_50000_p1000 or r125_19839")
+    rep.add_argument("--analysis", choices=("search", "modelopt"),
+                     default="search")
+    rep.add_argument("--candidates", type=int, default=60,
+                     help="SPR candidates to evaluate during capture")
+    rep.add_argument("--threads", type=int, nargs="+", default=[1, 8, 16])
+    rep.add_argument("--distribution", choices=("cyclic", "block"),
+                     default="cyclic")
+
+    return parser
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from .plk import write_newick, write_phylip
+    from .seqgen import simulated_dataset
+
+    dataset = simulated_dataset(
+        args.taxa, args.sites, args.partition_length, seed=args.seed
+    )
+    prefix = Path(args.out)
+    prefix.parent.mkdir(parents=True, exist_ok=True)
+    (prefix.with_suffix(".phy")).write_text(write_phylip(dataset.alignment))
+    part_lines = [
+        f"DNA, {p.name} = {p.ranges[0][0] + 1}-{p.ranges[0][1]}"
+        for p in dataset.scheme
+    ]
+    (prefix.with_suffix(".part")).write_text("\n".join(part_lines) + "\n")
+    (prefix.with_suffix(".nwk")).write_text(
+        write_newick(dataset.tree, dataset.true_lengths) + "\n"
+    )
+    print(f"wrote {prefix}.phy ({args.taxa} taxa x {args.sites} sites), "
+          f"{prefix}.part ({dataset.n_partitions} partitions), {prefix}.nwk")
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from .core import PartitionedEngine, TraceRecorder, optimize_model
+    from .plk import (
+        PartitionedAlignment,
+        parse_newick,
+        parse_partition_file,
+        parse_phylip,
+        parse_fasta,
+        uniform_scheme,
+        write_newick,
+    )
+    from .search import stepwise_addition_tree, tree_search
+
+    text = Path(args.alignment).read_text()
+    if text.lstrip().startswith(">"):
+        alignment = parse_fasta(text)
+    else:
+        alignment = parse_phylip(text)
+    print(f"alignment: {alignment.n_taxa} taxa x {alignment.n_sites} sites")
+
+    if args.partitions:
+        scheme = parse_partition_file(Path(args.partitions).read_text())
+    else:
+        scheme = uniform_scheme(alignment.n_sites, alignment.n_sites)
+
+    def build_data(aln):
+        data = PartitionedAlignment(aln, scheme)
+        print(
+            f"partitions: {data.n_partitions}, distinct patterns: {data.n_patterns}"
+        )
+        return data
+
+    recorder = TraceRecorder()
+    if args.resume:
+        import json
+
+        from .core import engine_from_checkpoint
+        from .plk import Alignment
+
+        state = json.loads(Path(args.resume).read_text())
+        ckpt_taxa = tuple(state["taxa"])
+        if set(ckpt_taxa) != set(alignment.taxa):
+            print("error: checkpoint and alignment taxa differ", file=sys.stderr)
+            return 2
+        if ckpt_taxa != alignment.taxa:
+            order = [alignment.taxa.index(name) for name in ckpt_taxa]
+            alignment = Alignment(
+                ckpt_taxa, alignment.matrix[order], alignment.datatype
+            )
+        data = build_data(alignment)
+        engine = engine_from_checkpoint(data, state)
+        engine.recorder = recorder
+        for part in engine.parts:
+            part.recorder = recorder
+        tree = engine.tree
+        print(f"resumed from checkpoint {args.resume}")
+    else:
+        if args.tree:
+            tree, lengths = parse_newick(Path(args.tree).read_text())
+            if set(tree.taxa) != set(alignment.taxa):
+                print("error: tree and alignment taxa differ", file=sys.stderr)
+                return 2
+            if tuple(tree.taxa) != alignment.taxa:
+                # Newick numbers leaves by appearance order; permute the
+                # alignment rows so leaf i carries the data of taxon i.
+                from .plk import Alignment
+
+                order = [alignment.taxa.index(name) for name in tree.taxa]
+                alignment = Alignment(
+                    tuple(tree.taxa), alignment.matrix[order], alignment.datatype
+                )
+        else:
+            rng = np.random.default_rng(args.seed)
+            tree = stepwise_addition_tree(alignment, rng)
+            lengths = None
+            print("starting tree: randomized stepwise-addition parsimony")
+        data = build_data(alignment)
+        engine = PartitionedEngine(
+            data,
+            tree,
+            branch_mode=args.branch_mode,
+            initial_lengths=lengths,
+            recorder=recorder,
+        )
+    t0 = time.perf_counter()
+    if args.search:
+        result = tree_search(
+            engine, strategy=args.strategy, radius=args.radius,
+            max_rounds=args.rounds,
+        )
+        lnl = result.loglikelihood
+        print(f"search: {result.rounds} rounds, "
+              f"{result.accepted_moves}/{result.evaluated_moves} moves accepted")
+    else:
+        lnl = optimize_model(engine, strategy=args.strategy, max_rounds=args.rounds)
+    elapsed = time.perf_counter() - t0
+    print(f"final log-likelihood: {lnl:.4f}   ({elapsed:.1f}s, "
+          f"strategy={args.strategy}, branch_mode={args.branch_mode})")
+
+    for i, part in enumerate(engine.parts):
+        print(f"  partition {scheme[i].name}: alpha={part.alpha:.4f} "
+              f"tree-length={part.branch_lengths.sum():.4f}")
+
+    if args.trace_summary:
+        trace = recorder.finalize(engine.pattern_counts(), engine.states())
+        print(f"schedule: {trace.n_regions} parallel regions, "
+              f"op totals {trace.op_totals()}")
+
+    if args.checkpoint:
+        from .core import save_checkpoint
+
+        save_checkpoint(engine, args.checkpoint)
+        print(f"wrote checkpoint {args.checkpoint}")
+
+    if args.out_tree:
+        Path(args.out_tree).write_text(
+            write_newick(tree, engine.parts[0].branch_lengths) + "\n"
+        )
+        print(f"wrote {args.out_tree}")
+    return 0
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    from .bench import capture_experiment
+    from .simmachine import PLATFORMS, simulate_trace
+
+    traces = {}
+    for strategy in ("old", "new"):
+        print(f"capturing {args.dataset} {args.analysis} {strategy} "
+              f"(cached after first run) ...")
+        traces[strategy] = capture_experiment(
+            args.dataset, args.analysis, strategy,
+            max_candidates=args.candidates,
+        )
+    header = f"{'platform':<12} {'threads':>7} {'old':>10} {'new':>10} {'old/new':>8}"
+    print(header)
+    print("-" * len(header))
+    for machine in PLATFORMS.values():
+        for t in args.threads:
+            if t > machine.cores:
+                continue
+            old = simulate_trace(traces["old"], machine, t, args.distribution)
+            new = simulate_trace(traces["new"], machine, t, args.distribution)
+            print(f"{machine.name:<12} {t:>7} {old.total_seconds:>10.2f} "
+                  f"{new.total_seconds:>10.2f} "
+                  f"{old.total_seconds / new.total_seconds:>8.2f}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "simulate": _cmd_simulate,
+        "analyze": _cmd_analyze,
+        "replay": _cmd_replay,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,57 @@
+"""The paper's contribution: load-balanced optimization of partitioned
+phylogenomic analyses (oldPAR vs newPAR), trace capture, and analysis
+entry points."""
+from .checkpoint import (
+    engine_from_checkpoint,
+    engine_to_checkpoint,
+    load_checkpoint,
+    save_checkpoint,
+)
+from .engine import BRANCH_MODES, PartitionedEngine
+from .modelselect import (
+    ModelScore,
+    free_parameter_count,
+    likelihood_ratio_test,
+    score_engine,
+)
+from .strategies import (
+    STRATEGIES,
+    optimize_alpha,
+    optimize_branch,
+    optimize_branch_lengths,
+    optimize_frequencies,
+    optimize_model,
+    optimize_pinv,
+    optimize_rates,
+    optimize_scalers,
+    smoothing_edge_order,
+)
+from .trace import NullRecorder, Region, Trace, TraceRecorder, WorkItem
+
+__all__ = [
+    "BRANCH_MODES",
+    "ModelScore",
+    "free_parameter_count",
+    "likelihood_ratio_test",
+    "score_engine",
+    "NullRecorder",
+    "engine_from_checkpoint",
+    "engine_to_checkpoint",
+    "load_checkpoint",
+    "save_checkpoint",
+    "PartitionedEngine",
+    "Region",
+    "STRATEGIES",
+    "Trace",
+    "TraceRecorder",
+    "WorkItem",
+    "optimize_alpha",
+    "optimize_branch",
+    "optimize_branch_lengths",
+    "optimize_frequencies",
+    "optimize_model",
+    "optimize_pinv",
+    "optimize_rates",
+    "optimize_scalers",
+    "smoothing_edge_order",
+]

@@ -1,0 +1,602 @@
+"""oldPAR vs newPAR: the paper's contribution (Section IV).
+
+Both strategies perform the *same* numerical work — Brent on the Q-matrix
+rates and the Gamma shape per partition, Newton-Raphson on every branch —
+and converge to the same optima (a property our tests assert).  They
+differ only in how the iterative work is grouped into parallel regions:
+
+* **oldPAR** (the "original, relatively straight-forward approach")
+  optimizes *one partition at a time*.  Every optimizer iteration issues a
+  command that touches only the active partition's ``m'_p`` patterns, so
+  with T threads each worker gets ``~m'_p / T`` patterns of work per
+  barrier — possibly zero when ``m'_p < T`` (the SGI Altix worst case the
+  paper describes).
+
+* **newPAR** (the paper's redesign) runs one optimizer state machine per
+  partition *in lock step*: each iteration issues a single command over
+  the union of all still-unconverged partitions, tracking convergence in
+  a boolean vector.  Per-barrier work stays near the full alignment width
+  ``m'`` for as long as any partition is active.
+
+Joint-branch-length mode: every Newton iteration naturally spans all
+partitions (the derivative is a sum over partitions), so the strategies
+only differ in the model-parameter (Brent) phase — which is why the paper
+measures only ~5% improvement there.
+"""
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+import numpy as np
+
+from ..optimize.brent import BatchedBrent
+from ..optimize.newton import BatchedNewton, newton_optimize
+from .engine import PartitionedEngine
+
+__all__ = [
+    "STRATEGIES",
+    "optimize_branch",
+    "optimize_branch_lengths",
+    "optimize_alpha",
+    "optimize_rates",
+    "optimize_frequencies",
+    "optimize_model",
+    "optimize_pinv",
+    "optimize_scalers",
+    "smoothing_edge_order",
+]
+
+STRATEGIES = ("old", "new")
+
+#: Optimizer bounds, mirroring RAxML's compile-time limits.
+ALPHA_MIN, ALPHA_MAX = 0.02, 100.0
+RATE_MIN, RATE_MAX = 1e-3, 100.0
+BRANCH_MIN, BRANCH_MAX = 1e-8, 50.0
+
+
+def _check_strategy(strategy: str) -> None:
+    if strategy not in STRATEGIES:
+        raise ValueError(f"strategy must be one of {STRATEGIES}, got {strategy!r}")
+
+
+@contextmanager
+def _region(engine: PartitionedEngine, label: str):
+    engine.recorder.begin_region(label)
+    try:
+        yield
+    finally:
+        engine.recorder.end_region()
+
+
+def smoothing_edge_order(tree) -> list[int]:
+    """Edges in depth-first visit order, so consecutive branch
+    optimizations re-root the likelihood arrays at *adjacent* branches and
+    each move costs O(1) newviews (RAxML's smoothTree walk)."""
+    order: list[int] = []
+    seen: set[int] = set()
+    start = tree.n_taxa  # an inner node
+    stack = [(start, -1)]
+    while stack:
+        node, parent = stack.pop()
+        for nb in tree.neighbors(node):
+            if nb == parent:
+                continue
+            eid = tree.edge_between(node, nb)
+            if eid not in seen:
+                seen.add(eid)
+                order.append(eid)
+            if not tree.is_leaf(nb):
+                stack.append((nb, node))
+    return order
+
+
+# ----------------------------------------------------------------------
+# Branch lengths (Newton-Raphson)
+# ----------------------------------------------------------------------
+
+def optimize_branch(
+    engine: PartitionedEngine,
+    edge: int,
+    strategy: str = "new",
+    ztol: float = 1e-6,
+    max_iter: int = 64,
+) -> np.ndarray:
+    """Optimize one branch; returns the per-partition iteration counts
+    (useful for load-balance diagnostics)."""
+    _check_strategy(strategy)
+    n_parts = engine.n_partitions
+    z0 = engine.branch_lengths()[edge]  # (P,)
+
+    if engine.branch_mode == "proportional":
+        # Newton-Raphson on the SHARED length b; partition p evaluates at
+        # s_p * b, contributing a chain-rule factor s_p (s_p^2 for the
+        # curvature).  Like joint mode, every iteration spans all
+        # partitions, so the strategies produce the same schedule.
+        workspaces = engine.prepare_branch_all(edge)
+        scalers = engine.scalers
+
+        def prop_fn(b: float) -> tuple[float, float]:
+            d1 = d2 = 0.0
+            with _region(engine, "nr_proportional"):
+                for p, (part, ws) in enumerate(zip(engine.parts, workspaces)):
+                    g1, g2 = part.branch_derivatives(ws, scalers[p] * b)
+                    d1 += scalers[p] * g1
+                    d2 += scalers[p] * scalers[p] * g2
+            return d1, d2
+
+        b0 = float(engine.global_lengths[edge])
+        b, iters, _ = newton_optimize(
+            prop_fn, b0, BRANCH_MIN, BRANCH_MAX, ztol, max_iter
+        )
+        with _region(engine, "nr_proportional"):
+            old_lnl = sum(
+                part.branch_loglikelihood(ws, scalers[p] * b0)
+                for p, (part, ws) in enumerate(zip(engine.parts, workspaces))
+            )
+            new_lnl = sum(
+                part.branch_loglikelihood(ws, scalers[p] * b)
+                for p, (part, ws) in enumerate(zip(engine.parts, workspaces))
+            )
+        if new_lnl >= old_lnl:
+            engine.set_branch_length(edge, b)
+        return np.full(n_parts, iters, dtype=np.int64)
+
+    if engine.branch_mode == "joint":
+        workspaces = engine.prepare_branch_all(edge)
+
+        def joint_fn(z: float) -> tuple[float, float]:
+            with _region(engine, "nr_joint"):
+                pairs = [
+                    part.branch_derivatives(ws, z)
+                    for part, ws in zip(engine.parts, workspaces)
+                ]
+            return (
+                float(sum(p[0] for p in pairs)),
+                float(sum(p[1] for p in pairs)),
+            )
+
+        z, iters, _ = newton_optimize(
+            joint_fn, float(z0[0]), BRANCH_MIN, BRANCH_MAX, ztol, max_iter
+        )
+        # Monotonicity guard: Newton-Raphson can overshoot; keep the new
+        # length only if it does not lower the likelihood (one extra
+        # evaluation pass, as RAxML's makenewz performs).
+        with _region(engine, "nr_joint"):
+            old_lnl = sum(
+                part.branch_loglikelihood(ws, float(z0[0]))
+                for part, ws in zip(engine.parts, workspaces)
+            )
+            new_lnl = sum(
+                part.branch_loglikelihood(ws, z)
+                for part, ws in zip(engine.parts, workspaces)
+            )
+        if new_lnl >= old_lnl:
+            engine.set_branch_length(edge, z)
+        return np.full(n_parts, iters, dtype=np.int64)
+
+    if strategy == "new":
+        workspaces = engine.prepare_branch_all(edge)
+        solver = BatchedNewton(BRANCH_MIN, BRANCH_MAX, ztol, max_iter)
+
+        def batched_fn(z: np.ndarray, active: np.ndarray):
+            d1 = np.zeros(n_parts)
+            d2 = np.zeros(n_parts)
+            with _region(engine, "nr_new"):
+                for p in np.flatnonzero(active):
+                    d1[p], d2[p] = engine.parts[p].branch_derivatives(
+                        workspaces[p], float(z[p])
+                    )
+            return d1, d2
+
+        res = solver.run(batched_fn, z0)
+        # Monotonicity guard (one batched evaluation region): keep each
+        # partition's new length only where the likelihood improved.
+        with _region(engine, "nr_new"):
+            for p in range(n_parts):
+                ws = workspaces[p]
+                part = engine.parts[p]
+                if part.branch_loglikelihood(ws, float(res.z[p])) >= (
+                    part.branch_loglikelihood(ws, float(z0[p]))
+                ):
+                    part.set_branch_length(edge, float(res.z[p]))
+        return res.iterations
+
+    # oldPAR: one partition at a time; every NR iteration is a command
+    # whose only work is this partition's m'_p patterns.
+    counts = np.zeros(n_parts, dtype=np.int64)
+    for p in range(n_parts):
+        ws = engine.prepare_branch_one(edge, p)
+
+        def scalar_fn(z: float, _p: int = p, _ws=ws) -> tuple[float, float]:
+            with _region(engine, "nr_old"):
+                return engine.parts[_p].branch_derivatives(_ws, z)
+
+        z, iters, _ = newton_optimize(
+            scalar_fn, float(z0[p]), BRANCH_MIN, BRANCH_MAX, ztol, max_iter
+        )
+        with _region(engine, "nr_old"):
+            accept = engine.parts[p].branch_loglikelihood(ws, z) >= (
+                engine.parts[p].branch_loglikelihood(ws, float(z0[p]))
+            )
+        if accept:
+            engine.parts[p].set_branch_length(edge, z)
+        counts[p] = iters
+    return counts
+
+
+def optimize_branch_lengths(
+    engine: PartitionedEngine,
+    strategy: str = "new",
+    passes: int = 2,
+    ztol: float = 1e-6,
+    edges: list[int] | None = None,
+) -> np.ndarray:
+    """Branch-length smoothing: visit every branch (or the given subset)
+    ``passes`` times, optimizing each with the selected strategy.  Returns
+    the summed per-partition Newton iteration counts."""
+    _check_strategy(strategy)
+    order = smoothing_edge_order(engine.tree) if edges is None else list(edges)
+    totals = np.zeros(engine.n_partitions, dtype=np.int64)
+    for _ in range(max(passes, 1)):
+        for edge in order:
+            totals += optimize_branch(engine, edge, strategy, ztol)
+    return totals
+
+
+# ----------------------------------------------------------------------
+# Model parameters (Brent)
+# ----------------------------------------------------------------------
+
+def optimize_alpha(
+    engine: PartitionedEngine,
+    strategy: str = "new",
+    xtol: float = 1e-3,
+    max_iter: int = 32,
+    root_edge: int = 0,
+) -> np.ndarray:
+    """Optimize each partition's Gamma shape parameter with Brent.
+
+    Each objective evaluation requires a *full tree traversal* of the
+    partition (changing alpha invalidates every likelihood array), which
+    is why the paper finds the imbalance less severe here (5-10%): there
+    is much more work per column between barriers.
+    """
+    _check_strategy(strategy)
+    n_parts = engine.n_partitions
+    current = np.array([part.alpha for part in engine.parts])
+
+    if strategy == "new":
+        solver = BatchedBrent(
+            np.full(n_parts, ALPHA_MIN), np.full(n_parts, ALPHA_MAX), xtol, max_iter
+        )
+
+        def batched_fn(x: np.ndarray, active: np.ndarray) -> np.ndarray:
+            out = np.zeros(n_parts)
+            with _region(engine, "brent_alpha_new"):
+                for p in np.flatnonzero(active):
+                    engine.parts[p].alpha = float(x[p])
+                    out[p] = -engine.parts[p].loglikelihood(root_edge)
+            return out
+
+        res = solver.run(batched_fn, guess=current)
+        for p in range(n_parts):
+            engine.parts[p].alpha = float(res.x[p])
+        return res.iterations
+
+    counts = np.zeros(n_parts, dtype=np.int64)
+    for p in range(n_parts):
+
+        def scalar_fn(x: np.ndarray, active: np.ndarray, _p: int = p) -> np.ndarray:
+            with _region(engine, "brent_alpha_old"):
+                engine.parts[_p].alpha = float(x[0])
+                val = -engine.parts[_p].loglikelihood(root_edge)
+            return np.array([val])
+
+        solver = BatchedBrent(
+            np.array([ALPHA_MIN]), np.array([ALPHA_MAX]), xtol, max_iter
+        )
+        res = solver.run(scalar_fn, guess=np.array([current[p]]))
+        engine.parts[p].alpha = float(res.x[0])
+        counts[p] = res.iterations[0]
+    return counts
+
+
+def optimize_rates(
+    engine: PartitionedEngine,
+    strategy: str = "new",
+    xtol: float = 1e-3,
+    max_iter: int = 32,
+    root_edge: int = 0,
+) -> np.ndarray:
+    """Optimize the free Q-matrix exchangeabilities, one rate index at a
+    time across partitions (RAxML's scheme: the last rate is the fixed
+    reference).
+
+    Only DNA partitions are optimized — empirical protein exchangeabilities
+    are fixed, exactly as in RAxML.  Returns total Brent iteration counts
+    per partition.
+    """
+    _check_strategy(strategy)
+    n_parts = engine.n_partitions
+    dna = np.array([part.data.states == 4 for part in engine.parts])
+    counts = np.zeros(n_parts, dtype=np.int64)
+    if not dna.any():
+        return counts
+    n_free = 5  # 6 GTR exchangeabilities, last fixed to 1
+
+    for rate_idx in range(n_free):
+        current = np.array(
+            [part.model.rates[rate_idx] if dna[p] else 1.0 for p, part in enumerate(engine.parts)]
+        )
+        current = np.clip(current, RATE_MIN * 1.01, RATE_MAX * 0.99)
+        if strategy == "new":
+            solver = BatchedBrent(
+                np.full(n_parts, RATE_MIN), np.full(n_parts, RATE_MAX), xtol, max_iter
+            )
+
+            def batched_fn(
+                x: np.ndarray, active: np.ndarray, _i: int = rate_idx
+            ) -> np.ndarray:
+                out = np.zeros(n_parts)
+                with _region(engine, "brent_rate_new"):
+                    for p in np.flatnonzero(active):
+                        engine.parts[p].model = engine.parts[p].model.with_rate(
+                            _i, float(x[p])
+                        )
+                        out[p] = -engine.parts[p].loglikelihood(root_edge)
+                return out
+
+            res = solver.run(batched_fn, guess=current, mask=dna)
+            for p in np.flatnonzero(dna):
+                engine.parts[p].model = engine.parts[p].model.with_rate(
+                    rate_idx, float(res.x[p])
+                )
+            counts += np.where(dna, res.iterations, 0)
+        else:
+            for p in np.flatnonzero(dna):
+
+                def scalar_fn(
+                    x: np.ndarray, active: np.ndarray, _p: int = int(p), _i: int = rate_idx
+                ) -> np.ndarray:
+                    with _region(engine, "brent_rate_old"):
+                        engine.parts[_p].model = engine.parts[_p].model.with_rate(
+                            _i, float(x[0])
+                        )
+                        val = -engine.parts[_p].loglikelihood(root_edge)
+                    return np.array([val])
+
+                solver = BatchedBrent(
+                    np.array([RATE_MIN]), np.array([RATE_MAX]), xtol, max_iter
+                )
+                res = solver.run(scalar_fn, guess=np.array([current[p]]))
+                engine.parts[p].model = engine.parts[p].model.with_rate(
+                    rate_idx, float(res.x[0])
+                )
+                counts[p] += res.iterations[0]
+    return counts
+
+
+def optimize_scalers(
+    engine: PartitionedEngine,
+    strategy: str = "new",
+    xtol: float = 1e-3,
+    max_iter: int = 32,
+    root_edge: int = 0,
+) -> np.ndarray:
+    """Optimize the per-partition branch-length multipliers (proportional
+    mode) with Brent.
+
+    Changing a scaler rescales every branch of its partition — a full
+    traversal per objective evaluation, the same cost profile as alpha —
+    so this is a genuinely per-partition iterative optimization and the
+    oldPAR/newPAR distinction applies in full.  Returns per-partition
+    iteration counts.
+    """
+    _check_strategy(strategy)
+    if engine.branch_mode != "proportional":
+        raise ValueError("scalers only exist in proportional mode")
+    n_parts = engine.n_partitions
+    lo, hi = 0.02, 50.0
+    current = np.clip(engine.scalers, lo * 1.01, hi * 0.99)
+
+    if strategy == "new":
+        solver = BatchedBrent(np.full(n_parts, lo), np.full(n_parts, hi), xtol, max_iter)
+
+        def batched_fn(x: np.ndarray, active: np.ndarray) -> np.ndarray:
+            out = np.zeros(n_parts)
+            with _region(engine, "brent_scaler_new"):
+                for p in np.flatnonzero(active):
+                    engine.set_scaler(int(p), float(x[p]))
+                    out[p] = -engine.parts[p].loglikelihood(root_edge)
+            return out
+
+        res = solver.run(batched_fn, guess=current)
+        for p in range(n_parts):
+            engine.set_scaler(p, float(res.x[p]))
+        return res.iterations
+
+    counts = np.zeros(n_parts, dtype=np.int64)
+    for p in range(n_parts):
+
+        def scalar_fn(x: np.ndarray, active: np.ndarray, _p: int = p) -> np.ndarray:
+            with _region(engine, "brent_scaler_old"):
+                engine.set_scaler(_p, float(x[0]))
+                val = -engine.parts[_p].loglikelihood(root_edge)
+            return np.array([val])
+
+        solver = BatchedBrent(np.array([lo]), np.array([hi]), xtol, max_iter)
+        res = solver.run(scalar_fn, guess=np.array([current[p]]))
+        engine.set_scaler(p, float(res.x[0]))
+        counts[p] = res.iterations[0]
+    return counts
+
+
+def optimize_pinv(
+    engine: PartitionedEngine,
+    strategy: str = "new",
+    xtol: float = 1e-4,
+    max_iter: int = 32,
+    root_edge: int = 0,
+) -> np.ndarray:
+    """Optimize the proportion of invariable sites (the +I mixture) per
+    partition with Brent.
+
+    pinv only affects root-level mixing — no likelihood arrays are
+    invalidated — so each objective evaluation is a single evaluate region
+    (the cheapest of all model parameters, and hence the one where oldPAR's
+    per-partition barriers hurt relatively most).
+    """
+    _check_strategy(strategy)
+    n_parts = engine.n_partitions
+    lo, hi = 1e-6, 0.9
+    current = np.clip(
+        np.array([part.pinv for part in engine.parts]), lo * 1.01, hi * 0.99
+    )
+
+    if strategy == "new":
+        solver = BatchedBrent(np.full(n_parts, lo), np.full(n_parts, hi), xtol, max_iter)
+
+        def batched_fn(x: np.ndarray, active: np.ndarray) -> np.ndarray:
+            out = np.zeros(n_parts)
+            with _region(engine, "brent_pinv_new"):
+                for p in np.flatnonzero(active):
+                    engine.parts[p].pinv = float(x[p])
+                    out[p] = -engine.parts[p].loglikelihood(root_edge)
+            return out
+
+        res = solver.run(batched_fn, guess=current)
+        for p in range(n_parts):
+            engine.parts[p].pinv = float(res.x[p])
+        return res.iterations
+
+    counts = np.zeros(n_parts, dtype=np.int64)
+    for p in range(n_parts):
+
+        def scalar_fn(x: np.ndarray, active: np.ndarray, _p: int = p) -> np.ndarray:
+            with _region(engine, "brent_pinv_old"):
+                engine.parts[_p].pinv = float(x[0])
+                val = -engine.parts[_p].loglikelihood(root_edge)
+            return np.array([val])
+
+        solver = BatchedBrent(np.array([lo]), np.array([hi]), xtol, max_iter)
+        res = solver.run(scalar_fn, guess=np.array([current[p]]))
+        engine.parts[p].pinv = float(res.x[0])
+        counts[p] = res.iterations[0]
+    return counts
+
+
+def optimize_frequencies(
+    engine: PartitionedEngine,
+    strategy: str = "new",
+    xtol: float = 1e-3,
+    max_iter: int = 24,
+    root_edge: int = 0,
+    dna_only: bool = True,
+) -> np.ndarray:
+    """ML-optimize the stationary base frequencies per partition.
+
+    Frequencies are parameterized as ratios against the last state (the
+    same pinning RAxML uses for rates); each free ratio is optimized with
+    Brent, batched across partitions under newPAR.  By default only DNA
+    partitions are optimized (20-state ML frequencies are slow and rarely
+    preferred over empirical ones); pass ``dna_only=False`` to include
+    protein partitions.
+    """
+    from ..plk.frequencies import frequency_ratios, ratios_to_frequencies
+
+    _check_strategy(strategy)
+    n_parts = engine.n_partitions
+    counts = np.zeros(n_parts, dtype=np.int64)
+    states = engine.states()
+    eligible_all = np.ones(n_parts, dtype=bool) if not dna_only else states == 4
+    if not eligible_all.any():
+        return counts
+    max_free = int(states[eligible_all].max()) - 1
+    lo, hi = 1e-3, 1e3
+
+    def set_ratio(p: int, index: int, value: float) -> None:
+        part = engine.parts[p]
+        ratios = frequency_ratios(part.model.frequencies)
+        ratios[index] = value
+        part.model = part.model.with_frequencies(ratios_to_frequencies(ratios))
+
+    for index in range(max_free):
+        eligible = eligible_all & (states > index + 1)
+        if not eligible.any():
+            continue
+        current = np.ones(n_parts)
+        for p in np.flatnonzero(eligible):
+            current[p] = frequency_ratios(engine.parts[p].model.frequencies)[index]
+        current = np.clip(current, lo * 1.01, hi * 0.99)
+        if strategy == "new":
+            solver = BatchedBrent(np.full(n_parts, lo), np.full(n_parts, hi), xtol, max_iter)
+
+            def batched_fn(x: np.ndarray, active: np.ndarray, _i: int = index) -> np.ndarray:
+                out = np.zeros(n_parts)
+                with _region(engine, "brent_freq_new"):
+                    for p in np.flatnonzero(active):
+                        set_ratio(p, _i, float(x[p]))
+                        out[p] = -engine.parts[p].loglikelihood(root_edge)
+                return out
+
+            res = solver.run(batched_fn, guess=current, mask=eligible)
+            for p in np.flatnonzero(eligible):
+                set_ratio(p, index, float(res.x[p]))
+            counts += np.where(eligible, res.iterations, 0)
+        else:
+            for p in np.flatnonzero(eligible):
+
+                def scalar_fn(
+                    x: np.ndarray, active: np.ndarray, _p: int = int(p), _i: int = index
+                ) -> np.ndarray:
+                    with _region(engine, "brent_freq_old"):
+                        set_ratio(_p, _i, float(x[0]))
+                        val = -engine.parts[_p].loglikelihood(root_edge)
+                    return np.array([val])
+
+                solver = BatchedBrent(np.array([lo]), np.array([hi]), xtol, max_iter)
+                res = solver.run(scalar_fn, guess=np.array([current[p]]))
+                set_ratio(int(p), index, float(res.x[0]))
+                counts[p] += res.iterations[0]
+    return counts
+
+
+def optimize_model(
+    engine: PartitionedEngine,
+    strategy: str = "new",
+    epsilon: float = 0.1,
+    max_rounds: int = 10,
+    include_rates: bool = True,
+    include_branches: bool = True,
+    include_frequencies: bool = False,
+    include_invariant: bool = False,
+    branch_passes: int = 1,
+) -> float:
+    """Full model-parameter optimization on a fixed topology (the paper's
+    "optimization of ML model parameters (without tree search) on a fixed
+    input tree" experiment).
+
+    Alternates rate / alpha / branch-length optimization until the total
+    log-likelihood improves by less than ``epsilon`` (RAxML's default
+    likelihood epsilon is 0.1).  Returns the final log-likelihood.
+    """
+    _check_strategy(strategy)
+    lnl = engine.loglikelihood()
+    for _ in range(max_rounds):
+        if include_rates:
+            optimize_rates(engine, strategy)
+        if include_frequencies:
+            optimize_frequencies(engine, strategy)
+        optimize_alpha(engine, strategy)
+        if include_invariant:
+            optimize_pinv(engine, strategy)
+        if engine.branch_mode == "proportional":
+            optimize_scalers(engine, strategy)
+        if include_branches:
+            optimize_branch_lengths(engine, strategy, passes=branch_passes)
+        new_lnl = engine.loglikelihood()
+        if new_lnl - lnl < epsilon:
+            lnl = max(new_lnl, lnl)
+            break
+        lnl = new_lnl
+    return lnl

@@ -1,0 +1,23 @@
+"""Bayesian MCMC layer (paper Section IV, "Implications for Bayesian
+Inference"): Metropolis-Hastings over partitioned models with the two
+proposal-scheduling modes the paper contrasts, plus Metropolis coupling."""
+from .chain import (
+    BayesianChain,
+    ChainSamples,
+    MetropolisCoupledSampler,
+    SCHEDULING_MODES,
+)
+from .priors import PriorSet, log_exponential, log_lognormal
+from .proposals import MultiplierProposal, reflect
+
+__all__ = [
+    "BayesianChain",
+    "ChainSamples",
+    "MetropolisCoupledSampler",
+    "MultiplierProposal",
+    "PriorSet",
+    "SCHEDULING_MODES",
+    "log_exponential",
+    "log_lognormal",
+    "reflect",
+]

@@ -1,0 +1,58 @@
+"""Priors for the Bayesian layer (MrBayes-style defaults).
+
+* branch lengths: i.i.d. Exponential(rate = 1 / mean), mean 0.1;
+* Gamma shape alpha: Exponential(1.0) truncated to the kernel's feasible
+  interval (MrBayes default is Uniform/Exponential depending on version;
+  exponential keeps the density proper);
+* GTR exchangeabilities: i.i.d. LogNormal(0, 1) on each free rate (a
+  convenient proper prior over the positive reals).
+
+All functions return LOG densities and broadcast over numpy arrays.
+"""
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["log_exponential", "log_lognormal", "PriorSet"]
+
+
+def log_exponential(x: np.ndarray, mean: float) -> np.ndarray:
+    """Log density of Exponential with the given mean."""
+    rate = 1.0 / mean
+    x = np.asarray(x, dtype=np.float64)
+    return np.where(x >= 0, np.log(rate) - rate * x, -np.inf)
+
+
+def log_lognormal(x: np.ndarray, mu: float = 0.0, sigma: float = 1.0) -> np.ndarray:
+    x = np.asarray(x, dtype=np.float64)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        logx = np.log(x)
+        out = (
+            -logx
+            - np.log(sigma * np.sqrt(2 * np.pi))
+            - 0.5 * ((logx - mu) / sigma) ** 2
+        )
+    return np.where(x > 0, out, -np.inf)
+
+
+class PriorSet:
+    """Bundles the per-parameter-type log priors used by the chain."""
+
+    def __init__(
+        self,
+        branch_mean: float = 0.1,
+        alpha_mean: float = 1.0,
+        rate_sigma: float = 1.0,
+    ):
+        self.branch_mean = branch_mean
+        self.alpha_mean = alpha_mean
+        self.rate_sigma = rate_sigma
+
+    def branch(self, lengths: np.ndarray) -> np.ndarray:
+        return log_exponential(lengths, self.branch_mean)
+
+    def alpha(self, alpha: np.ndarray) -> np.ndarray:
+        return log_exponential(alpha, self.alpha_mean)
+
+    def rate(self, rate: np.ndarray) -> np.ndarray:
+        return log_lognormal(rate, 0.0, self.rate_sigma)

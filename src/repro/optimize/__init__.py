@@ -1,0 +1,14 @@
+"""Iterative optimizers used by the PLK (Brent and Newton-Raphson), in
+scalar form (the oldPAR per-partition path) and batched lock-step form
+(the newPAR simultaneous-partitions path, the paper's contribution)."""
+from .brent import BatchedBrent, BrentResult, brent_minimize
+from .newton import BatchedNewton, NewtonResult, newton_optimize
+
+__all__ = [
+    "BatchedBrent",
+    "BatchedNewton",
+    "BrentResult",
+    "NewtonResult",
+    "brent_minimize",
+    "newton_optimize",
+]

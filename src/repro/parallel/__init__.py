@@ -1,0 +1,25 @@
+"""Real parallel execution of the PLK: pattern distribution policies plus
+thread- and process-based master/worker backends executing the same
+schedule the simulator replays."""
+from .distribution import (
+    DISTRIBUTIONS,
+    block_indices,
+    block_partition_counts,
+    cyclic_indices,
+    cyclic_partition_counts,
+    partition_thread_counts,
+)
+from .engine import ParallelPLK
+from .worker import WorkerState, slice_partition_data
+
+__all__ = [
+    "DISTRIBUTIONS",
+    "ParallelPLK",
+    "WorkerState",
+    "block_indices",
+    "block_partition_counts",
+    "cyclic_indices",
+    "cyclic_partition_counts",
+    "partition_thread_counts",
+    "slice_partition_data",
+]

@@ -1,0 +1,91 @@
+"""Pattern-to-thread distribution policies (paper Fig. 1 and Section IV).
+
+RAxML assigns the ``m'`` global alignment patterns to T worker threads
+*cyclically* (pattern i goes to thread ``i mod T``), "mainly to allow for
+better load-balance in phylogenomic datasets that can contain DNA as well
+as AA data": interleaving guarantees every thread receives an equal mix of
+cheap DNA and 25x-more-expensive protein columns, and every partition's
+patterns are spread almost evenly over all threads regardless of where the
+partition sits in the alignment.
+
+The alternative *block* policy (thread t owns one contiguous chunk of the
+global pattern vector) equalizes raw pattern counts but concentrates each
+partition — and each datatype — on few threads, which is catastrophic for
+per-partition operations; it exists here as the ablation baseline.
+"""
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "DISTRIBUTIONS",
+    "cyclic_partition_counts",
+    "block_partition_counts",
+    "partition_thread_counts",
+    "cyclic_indices",
+    "block_indices",
+]
+
+DISTRIBUTIONS = ("cyclic", "block")
+
+
+def cyclic_partition_counts(offset: int, length: int, n_threads: int) -> np.ndarray:
+    """How many patterns of a partition spanning global indices
+    ``[offset, offset + length)`` each thread owns under cyclic
+    distribution.  Counts differ by at most one across threads."""
+    if n_threads < 1:
+        raise ValueError("need at least one thread")
+    t = np.arange(n_threads)
+    # #{i in [offset, offset+length) : i % T == t}
+    first = (t - offset) % n_threads
+    return np.maximum((length - first + n_threads - 1) // n_threads, 0)
+
+
+def block_partition_counts(
+    offset: int, length: int, total: int, n_threads: int
+) -> np.ndarray:
+    """Per-thread pattern counts under block distribution: thread t owns
+    the global range ``[t * ceil(total/T), (t+1) * ceil(total/T))``."""
+    if n_threads < 1:
+        raise ValueError("need at least one thread")
+    if total < 1:
+        raise ValueError("need a positive total pattern count")
+    chunk = -(-total // n_threads)
+    t = np.arange(n_threads)
+    lo = np.minimum(t * chunk, total)
+    hi = np.minimum(lo + chunk, total)
+    return np.maximum(np.minimum(hi, offset + length) - np.maximum(lo, offset), 0)
+
+
+def partition_thread_counts(
+    policy: str, offset: int, length: int, total: int, n_threads: int
+) -> np.ndarray:
+    """Dispatch on the distribution policy name."""
+    if policy == "cyclic":
+        return cyclic_partition_counts(offset, length, n_threads)
+    if policy == "block":
+        return block_partition_counts(offset, length, total, n_threads)
+    raise ValueError(f"unknown distribution {policy!r}; known: {DISTRIBUTIONS}")
+
+
+def cyclic_indices(offset: int, length: int, n_threads: int, thread: int) -> np.ndarray:
+    """Partition-local indices owned by ``thread`` under cyclic policy
+    (used by the real parallel backends to slice tip data)."""
+    if not 0 <= thread < n_threads:
+        raise ValueError("thread id out of range")
+    first = (thread - offset) % n_threads
+    return np.arange(first, length, n_threads)
+
+
+def block_indices(
+    offset: int, length: int, total: int, n_threads: int, thread: int
+) -> np.ndarray:
+    """Partition-local indices owned by ``thread`` under block policy."""
+    if not 0 <= thread < n_threads:
+        raise ValueError("thread id out of range")
+    chunk = -(-total // n_threads)
+    lo = min(thread * chunk, total)
+    hi = min(lo + chunk, total)
+    start = max(lo - offset, 0)
+    stop = max(min(hi - offset, length), 0)
+    return np.arange(start, stop)

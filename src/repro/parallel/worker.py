@@ -1,0 +1,170 @@
+"""Worker-side state and command execution for the real parallel backends.
+
+Every worker owns a *pattern slice* of each partition (cyclic or block
+assignment, fixed at startup — RAxML's data-parallel ownership: likelihood
+arrays never migrate between threads).  The master broadcasts small
+commands; each worker executes them against its private
+:class:`~repro.plk.likelihood.PartitionLikelihood` instances and returns a
+partial result (a partial log-likelihood or partial derivative sums),
+which the master reduces.  One command == one region of the simulator's
+vocabulary.
+
+A worker may own ZERO patterns of a short partition (the paper's
+``m'_p < T`` worst case): its engines then operate on zero-width arrays
+and contribute nothing — it simply idles through the command, exactly like
+the idle threads the paper describes.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..plk.likelihood import BranchWorkspace, PartitionLikelihood
+from ..plk.partition import PartitionData, PartitionedAlignment
+from ..plk.tree import Tree
+from .distribution import block_indices, cyclic_indices
+
+__all__ = ["slice_partition_data", "WorkerState"]
+
+
+def slice_partition_data(
+    data: PartitionedAlignment, n_workers: int, worker: int, distribution: str
+) -> list[PartitionData]:
+    """The pattern slices worker ``worker`` owns, one per partition."""
+    total = data.n_patterns
+    offset = 0
+    slices: list[PartitionData] = []
+    for block in data.data:
+        length = block.n_patterns
+        if distribution == "cyclic":
+            idx = cyclic_indices(offset, length, n_workers, worker)
+        elif distribution == "block":
+            idx = block_indices(offset, length, total, n_workers, worker)
+        else:
+            raise ValueError(f"unknown distribution {distribution!r}")
+        slices.append(
+            PartitionData(
+                partition=block.partition,
+                tip_states=np.ascontiguousarray(block.tip_states[:, idx, :]),
+                weights=block.weights[idx].copy(),
+            )
+        )
+        offset += length
+    return slices
+
+
+@dataclass
+class _Handle:
+    """Worker-local sumtable storage for one prepare/derive cycle."""
+
+    token: int
+    workspaces: dict[int, BranchWorkspace]
+
+
+class WorkerState:
+    """Executes master commands against this worker's pattern slices."""
+
+    def __init__(
+        self,
+        slices: list[PartitionData],
+        tree: Tree,
+        models: list,
+        alphas: list[float],
+        initial_lengths: np.ndarray | None = None,
+        categories: int = 4,
+    ):
+        self.tree = tree
+        self.parts = [
+            PartitionLikelihood(
+                d, tree, model, alpha=alpha, categories=categories, index=i
+            )
+            for i, (d, model, alpha) in enumerate(zip(slices, models, alphas))
+        ]
+        if initial_lengths is not None:
+            for part in self.parts:
+                part.set_branch_lengths(initial_lengths)
+        self._handles: dict[int, _Handle] = {}
+
+    # Command dispatch ---------------------------------------------------
+
+    def execute(self, cmd: tuple):
+        op = cmd[0]
+        handler = getattr(self, f"_cmd_{op}", None)
+        if handler is None:
+            raise ValueError(f"unknown worker command {op!r}")
+        return handler(*cmd[1:])
+
+    # -- likelihood ------------------------------------------------------
+
+    def _cmd_lnl(self, root_edge: int) -> float:
+        """Partial total log-likelihood over all partitions."""
+        return float(sum(p.loglikelihood(root_edge) for p in self.parts))
+
+    def _cmd_lnl_parts(self, root_edge: int, active: list[int]) -> np.ndarray:
+        """Partial per-partition log-likelihoods for the active set."""
+        out = np.zeros(len(self.parts))
+        for p in active:
+            out[p] = self.parts[p].loglikelihood(root_edge)
+        return out
+
+    # -- branch-length machinery ------------------------------------------
+
+    def _cmd_prepare(self, edge: int, token: int, partitions: list[int]) -> None:
+        ws = {p: self.parts[p].prepare_branch(edge) for p in partitions}
+        self._handles[token] = _Handle(token=token, workspaces=ws)
+
+    def _cmd_deriv(
+        self, token: int, z: np.ndarray, active: list[int]
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Partial (d1, d2) sums for the active partitions at lengths z."""
+        handle = self._handles[token]
+        d1 = np.zeros(len(self.parts))
+        d2 = np.zeros(len(self.parts))
+        for p in active:
+            d1[p], d2[p] = self.parts[p].branch_derivatives(
+                handle.workspaces[p], float(z[p])
+            )
+        return d1, d2
+
+    def _cmd_branch_lnl(
+        self, token: int, z: np.ndarray, active: list[int]
+    ) -> np.ndarray:
+        """Partial per-partition log-likelihoods at branch lengths z, from
+        the prepared sumtables (the Newton monotonicity-guard pass)."""
+        handle = self._handles[token]
+        out = np.zeros(len(self.parts))
+        for p in active:
+            out[p] = self.parts[p].branch_loglikelihood(
+                handle.workspaces[p], float(z[p])
+            )
+        return out
+
+    def _cmd_release(self, token: int) -> None:
+        self._handles.pop(token, None)
+
+    # -- parameter updates -------------------------------------------------
+
+    def _cmd_set_bl(self, edge: int, value: float, partition: int | None) -> None:
+        if partition is None:
+            for part in self.parts:
+                part.set_branch_length(edge, value)
+        else:
+            self.parts[partition].set_branch_length(edge, value)
+
+    def _cmd_set_alpha(self, partition: int, alpha: float) -> None:
+        self.parts[partition].alpha = alpha
+
+    def _cmd_set_model(self, partition: int, model) -> None:
+        self.parts[partition].model = model
+
+    def _cmd_eval_alpha(
+        self, x: np.ndarray, active: list[int], root_edge: int
+    ) -> np.ndarray:
+        """Set trial alphas and return partial NEGATIVE log-likelihoods
+        (one fused command per Brent round — the newPAR schedule)."""
+        out = np.zeros(len(self.parts))
+        for p in active:
+            self.parts[p].alpha = float(x[p])
+            out[p] = -self.parts[p].loglikelihood(root_edge)
+        return out

@@ -1,0 +1,136 @@
+"""Character state spaces for the likelihood kernel.
+
+The kernel is generic over the number of states: DNA uses 4 states, amino
+acid (protein) data uses 20.  The paper's load-balance analysis depends on
+this because the per-column floating point cost scales with ``states**2``
+(a 20x20 vs 4x4 substitution matrix, a factor of 25 the paper cites when
+explaining why protein partitions hide the imbalance).
+
+Tip (leaf) sequences are stored as *ambiguity bit-vectors*: each character
+maps to a 0/1 indicator over the state set, so ``A -> (1,0,0,0)`` and the
+fully-ambiguous gap ``- -> (1,1,1,1)``.  This is exactly RAxML's tip
+representation and lets the pruning recursion treat tips and inner nodes
+uniformly.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import lru_cache
+
+import numpy as np
+
+__all__ = ["DataType", "DNA", "AA", "get_datatype"]
+
+
+@dataclass(frozen=True)
+class DataType:
+    """A character alphabet plus its ambiguity-code table.
+
+    Parameters
+    ----------
+    name:
+        Short identifier, e.g. ``"DNA"`` or ``"AA"``.
+    states:
+        Number of unambiguous states (4 for DNA, 20 for AA).
+    symbols:
+        The canonical one-letter codes, index ``i`` is state ``i``.
+    ambiguities:
+        Maps additional symbols to the tuple of state indices they may
+        represent.  Gap/unknown symbols map to *all* states.
+    """
+
+    name: str
+    states: int
+    symbols: str
+    ambiguities: dict[str, tuple[int, ...]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if len(self.symbols) != self.states:
+            raise ValueError(
+                f"{self.name}: {len(self.symbols)} symbols for {self.states} states"
+            )
+
+    @property
+    def alphabet(self) -> str:
+        """All accepted symbols (canonical plus ambiguity codes)."""
+        return self.symbols + "".join(self.ambiguities)
+
+    def encoding_table(self) -> np.ndarray:
+        """(256, states) float64 indicator table indexed by ``ord(upper(ch))``.
+
+        Unknown characters encode as all-ones (treated like gaps), matching
+        the permissive behaviour of most phylogenetics readers.
+        """
+        table = np.ones((256, self.states), dtype=np.float64)
+        for i, sym in enumerate(self.symbols):
+            row = np.zeros(self.states)
+            row[i] = 1.0
+            table[ord(sym)] = row
+            table[ord(sym.lower())] = row
+        for sym, idxs in self.ambiguities.items():
+            row = np.zeros(self.states)
+            row[list(idxs)] = 1.0
+            table[ord(sym)] = row
+            if sym.lower() != sym:
+                table[ord(sym.lower())] = row
+        return table
+
+    def encode(self, sequence: str) -> np.ndarray:
+        """Encode a character string into an (len, states) indicator array."""
+        raw = np.frombuffer(sequence.encode("ascii"), dtype=np.uint8)
+        return self.encoding_table()[raw]
+
+    def decode_states(self, states: np.ndarray) -> str:
+        """Map an integer state-index array back to canonical symbols."""
+        lut = np.frombuffer(self.symbols.encode("ascii"), dtype=np.uint8)
+        return lut[np.asarray(states, dtype=np.intp)].tobytes().decode("ascii")
+
+
+_DNA_AMBIG = {
+    "R": (0, 2),        # A/G  (purines)
+    "Y": (1, 3),        # C/T  (pyrimidines)
+    "S": (1, 2),        # C/G
+    "W": (0, 3),        # A/T
+    "K": (2, 3),        # G/T
+    "M": (0, 1),        # A/C
+    "B": (1, 2, 3),
+    "D": (0, 2, 3),
+    "H": (0, 1, 3),
+    "V": (0, 1, 2),
+    "N": (0, 1, 2, 3),
+    "?": (0, 1, 2, 3),
+    "-": (0, 1, 2, 3),
+    "X": (0, 1, 2, 3),
+    "O": (0, 1, 2, 3),
+    "U": (3,),          # RNA uracil == T
+}
+
+DNA = DataType(name="DNA", states=4, symbols="ACGT", ambiguities=_DNA_AMBIG)
+
+_AA_SYMBOLS = "ARNDCQEGHILKMFPSTWYV"
+_AA_AMBIG = {
+    "B": (_AA_SYMBOLS.index("N"), _AA_SYMBOLS.index("D")),
+    "Z": (_AA_SYMBOLS.index("Q"), _AA_SYMBOLS.index("E")),
+    "J": (_AA_SYMBOLS.index("I"), _AA_SYMBOLS.index("L")),
+    "X": tuple(range(20)),
+    "?": tuple(range(20)),
+    "-": tuple(range(20)),
+    "*": tuple(range(20)),
+    "U": (_AA_SYMBOLS.index("C"),),   # selenocysteine ~ cysteine
+    "O": (_AA_SYMBOLS.index("K"),),   # pyrrolysine ~ lysine
+}
+
+AA = DataType(name="AA", states=20, symbols=_AA_SYMBOLS, ambiguities=_AA_AMBIG)
+
+_REGISTRY = {"DNA": DNA, "AA": AA, "PROT": AA, "PROTEIN": AA}
+
+
+@lru_cache(maxsize=None)
+def get_datatype(name: str) -> DataType:
+    """Look up a registered datatype by (case-insensitive) name."""
+    try:
+        return _REGISTRY[name.upper()]
+    except KeyError:
+        raise KeyError(
+            f"unknown datatype {name!r}; known: {sorted(set(_REGISTRY))}"
+        ) from None

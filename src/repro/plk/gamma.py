@@ -1,0 +1,67 @@
+"""Discrete Gamma rate heterogeneity (Yang 1994).
+
+Different alignment columns evolve at different speeds.  The Gamma model
+draws each site's rate from a Gamma(alpha, alpha) distribution (mean 1);
+the discrete approximation splits the distribution into K equal-probability
+categories and represents each by either its mean (default, what RAxML
+uses) or its median.  The per-site likelihood is then the average of the
+per-category likelihoods, which multiplies the kernel's work per column by
+K (K = 4 throughout the paper).
+"""
+from __future__ import annotations
+
+import numpy as np
+from scipy.special import gammainc, gammaincinv
+
+__all__ = ["discrete_gamma_rates", "GAMMA_CATEGORIES"]
+
+GAMMA_CATEGORIES = 4
+_MIN_ALPHA = 0.02
+_MAX_ALPHA = 1000.0
+
+
+def discrete_gamma_rates(
+    alpha: float, categories: int = GAMMA_CATEGORIES, median: bool = False
+) -> np.ndarray:
+    """Category rates of the discrete Gamma(alpha, alpha) model.
+
+    Parameters
+    ----------
+    alpha:
+        Shape parameter; small alpha = strong heterogeneity.  Clamped to
+        RAxML's feasible interval [0.02, 1000].
+    categories:
+        Number of equal-probability categories, K.
+    median:
+        Use category medians instead of means.  Means are renormalized
+        exactly; medians are rescaled to mean 1 (as in Yang 1994).
+
+    Returns
+    -------
+    (K,) ascending rates with mean exactly 1.
+    """
+    if categories < 1:
+        raise ValueError("need at least one rate category")
+    alpha = float(np.clip(alpha, _MIN_ALPHA, _MAX_ALPHA))
+    if categories == 1:
+        return np.ones(1)
+    k = categories
+    probs = np.arange(1, k) / k
+    # Quantile boundaries of Gamma(shape=alpha, rate=alpha): the rate
+    # parameter cancels inside gammaincinv since scipy uses scale 1; divide
+    # by alpha to convert.
+    cuts = gammaincinv(alpha, probs) / alpha
+    if median:
+        mids = (np.arange(k) + 0.5) / k
+        rates = gammaincinv(alpha, mids) / alpha
+    else:
+        # Mean of Gamma(alpha, alpha) over [a, b] with total prob 1/k:
+        #   k * [ I(alpha+1, b*alpha) - I(alpha+1, a*alpha) ]
+        # where I is the regularized lower incomplete gamma.
+        bounds = np.concatenate([[0.0], cuts, [np.inf]])
+        upper = gammainc(alpha + 1.0, np.where(np.isinf(bounds[1:]), np.inf, bounds[1:] * alpha))
+        upper = np.where(np.isinf(bounds[1:]), 1.0, upper)
+        lower = gammainc(alpha + 1.0, bounds[:-1] * alpha)
+        rates = k * (upper - lower)
+    rates = np.maximum(rates, 1e-10)
+    return rates / rates.mean()

@@ -1,0 +1,394 @@
+"""Per-partition likelihood evaluation on a tree (Felsenstein pruning).
+
+:class:`PartitionLikelihood` owns, for ONE partition: the encoded tip
+patterns, the substitution model and its eigensystem, the Gamma rates, a
+private branch-length vector, and one conditional likelihood vector (CLV)
+per inner node.  Exactly like RAxML it stores a single *oriented* CLV per
+inner node — the conditional of the subtree hanging below the node w.r.t.
+the current virtual-root placement — and relocating the virtual root or
+changing a branch only recomputes the vectors whose orientation or inputs
+changed (the paper's "partial traversals").
+
+Multi-partition coordination (joint branch lengths, the oldPAR/newPAR
+optimization strategies) lives in :mod:`repro.core.engine`, which drives a
+collection of these single-partition engines.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from . import kernel
+from .eigen import EigenSystem
+from .gamma import GAMMA_CATEGORIES, discrete_gamma_rates
+from .models import SubstitutionModel
+from .partition import PartitionData
+from .tree import Tree
+
+__all__ = ["PartitionLikelihood", "BranchWorkspace"]
+
+
+@dataclass
+class BranchWorkspace:
+    """Precomputed state for Newton-Raphson on one branch of one partition:
+    the eigenbasis sumtable plus the total scaling counter of the two
+    subtrees meeting at the branch."""
+
+    edge: int
+    sumtable: np.ndarray
+    scale: np.ndarray | None
+    n_patterns: int
+
+
+class PartitionLikelihood:
+    """Likelihood engine for a single partition on a shared tree topology.
+
+    Parameters
+    ----------
+    data:
+        Pattern-compressed tip data for this partition.
+    tree:
+        The (shared, possibly mutated) topology.  The engine reads it on
+        every traversal; after mutating the topology call
+        :meth:`invalidate_all` (or targeted :meth:`invalidate_node`).
+    model:
+        The partition's substitution model.
+    alpha:
+        Gamma shape parameter.
+    categories:
+        Number of discrete Gamma categories (4 throughout the paper).
+    index:
+        The partition's position in its scheme (used by trace recorders).
+    recorder:
+        Optional kernel-operation listener with ``newview(partition, n)``,
+        ``evaluate(partition, n)``, ``sumtable(partition, n)`` and
+        ``derivative(partition, n)`` methods (n = pattern count touched).
+    """
+
+    def __init__(
+        self,
+        data: PartitionData,
+        tree: Tree,
+        model: SubstitutionModel,
+        alpha: float = 1.0,
+        categories: int = GAMMA_CATEGORIES,
+        index: int = 0,
+        recorder=None,
+    ):
+        if model.states != data.states:
+            raise ValueError(
+                f"model has {model.states} states but partition data has {data.states}"
+            )
+        self.data = data
+        self.tree = tree
+        self.index = index
+        self.categories = categories
+        self.recorder = recorder
+        self.branch_lengths = np.full(tree.n_edges, 0.1)
+        self._model = model
+        self._alpha = float(alpha)
+        self._pinv = 0.0
+        self._invariant_mask: np.ndarray | None = None  # (m, s), lazy
+        self._eigen = EigenSystem.from_model(model)
+        self._rates = discrete_gamma_rates(alpha, categories)
+        # Per-inner-node CLV storage.  The signature records exactly which
+        # children/edges/orientation a stored CLV was computed from, so
+        # topology moves (which change adjacency) and virtual-root motion
+        # (which changes orientation) are both detected (RAxML's partial
+        # traversal logic).
+        self._clv: dict[int, np.ndarray] = {}
+        self._scale: dict[int, np.ndarray] = {}
+        self._stored_sig: dict[int, tuple[int, int, int, int, int]] = {}
+        self._dirty: set[int] = set(range(tree.n_taxa, tree.n_nodes))
+        # Transition-matrix cache: edge -> (length, P).  Branch lengths
+        # change rarely relative to how often P(t) is consumed (every
+        # partition touches every edge on a full traversal).
+        self._p_cache: dict[int, tuple[float, np.ndarray]] = {}
+
+    # ------------------------------------------------------------------
+    # Parameters
+    # ------------------------------------------------------------------
+
+    @property
+    def model(self) -> SubstitutionModel:
+        return self._model
+
+    @model.setter
+    def model(self, model: SubstitutionModel) -> None:
+        if model.states != self.data.states:
+            raise ValueError("cannot change the state-space of a partition")
+        self._model = model
+        self._eigen = EigenSystem.from_model(model)
+        self._p_cache.clear()
+        self.invalidate_all()
+
+    @property
+    def alpha(self) -> float:
+        return self._alpha
+
+    @alpha.setter
+    def alpha(self, alpha: float) -> None:
+        self._alpha = float(alpha)
+        self._rates = discrete_gamma_rates(alpha, self.categories)
+        self._p_cache.clear()
+        self.invalidate_all()
+
+    @property
+    def pinv(self) -> float:
+        """Proportion of invariable sites (the +I mixture component).
+
+        0.0 (the default) disables the mixture.  Changing it does NOT
+        invalidate the conditional vectors: only the root-level mixing
+        changes — proposals/optimization of pinv are therefore the
+        cheapest parameter moves of all (one evaluation, no traversal).
+        Convention: site rate is 0 with probability pinv, else
+        Gamma(alpha, alpha) with mean 1 (no renormalization; branch
+        lengths absorb the scale, as in MrBayes/PhyML).
+        """
+        return self._pinv
+
+    @pinv.setter
+    def pinv(self, value: float) -> None:
+        if not 0.0 <= value < 1.0:
+            raise ValueError("pinv must be in [0, 1)")
+        self._pinv = float(value)
+
+    def invariant_probabilities(self) -> np.ndarray:
+        """(m,) prior mass of the states compatible with every tip at each
+        pattern (0 for variable patterns) — the invariant component's
+        per-pattern likelihood."""
+        if self._invariant_mask is None:
+            self._invariant_mask = (self.data.tip_states > 0.0).all(axis=0)
+        return self._invariant_mask @ self._model.frequencies
+
+    @property
+    def gamma_rates(self) -> np.ndarray:
+        return self._rates
+
+    @property
+    def eigen(self) -> EigenSystem:
+        return self._eigen
+
+    @property
+    def n_patterns(self) -> int:
+        return self.data.n_patterns
+
+    def set_branch_length(self, edge: int, value: float) -> None:
+        """Change one branch length, invalidating dependent CLVs."""
+        self.branch_lengths[edge] = value
+        u, v = self.tree.edge_nodes(edge)
+        for node in (u, v):
+            if not self.tree.is_leaf(node):
+                self._dirty.add(node)
+
+    def set_branch_lengths(self, values: np.ndarray) -> None:
+        if values.shape != (self.tree.n_edges,):
+            raise ValueError("branch-length vector has wrong shape")
+        self.branch_lengths[:] = values
+        self.invalidate_all()
+
+    # ------------------------------------------------------------------
+    # CLV management
+    # ------------------------------------------------------------------
+
+    def invalidate_all(self) -> None:
+        """Mark every inner CLV stale (model change / bulk topology edit)."""
+        self._dirty.update(range(self.tree.n_taxa, self.tree.n_nodes))
+
+    def invalidate_node(self, node: int) -> None:
+        """Mark one inner node stale (targeted topology edit)."""
+        if not self.tree.is_leaf(node):
+            self._dirty.add(node)
+
+    def _p_matrix(self, edge: int) -> np.ndarray:
+        t = float(np.clip(self.branch_lengths[edge], kernel.MIN_BRANCH, kernel.MAX_BRANCH))
+        hit = self._p_cache.get(edge)
+        if hit is not None and hit[0] == t:
+            return hit[1]
+        p = self._eigen.transition_matrices(t, self._rates)
+        self._p_cache[edge] = (t, p)
+        return p
+
+    def _child_clv(self, node: int) -> tuple[np.ndarray, np.ndarray | None]:
+        """CLV (or tip matrix) plus scaling counter for a traversal child."""
+        if self.tree.is_leaf(node):
+            return self.data.tip_states[node], None
+        return self._clv[node], self._scale[node]
+
+    def refresh(self, root_edge: int) -> int:
+        """Make every CLV needed for the orientation rooted on ``root_edge``
+        valid; returns the number of newview operations performed (the
+        partial-traversal length)."""
+        steps = self.tree.postorder(root_edge)
+        recomputed: set[int] = set()
+        count = 0
+        for step in steps:
+            node = step.node
+            sig = (step.c1, step.e1, step.c2, step.e2, self._parent_of(step))
+            needs = (
+                node in self._dirty
+                or self._stored_sig.get(node) != sig
+                or step.c1 in recomputed
+                or step.c2 in recomputed
+                or node not in self._clv
+            )
+            if not needs:
+                continue
+            clv1, sc1 = self._child_clv(step.c1)
+            clv2, sc2 = self._child_clv(step.c2)
+            p1 = self._p_matrix(step.e1)
+            p2 = self._p_matrix(step.e2)
+            clv, scale = kernel.newview(p1, clv1, sc1, p2, clv2, sc2)
+            self._clv[node] = clv
+            self._scale[node] = scale
+            self._stored_sig[node] = sig
+            self._dirty.discard(node)
+            recomputed.add(node)
+            count += 1
+        if count and self.recorder is not None:
+            self.recorder.newview(self.index, self.n_patterns, count)
+        return count
+
+    def _parent_of(self, step) -> int:
+        """The neighbor of ``step.node`` that is NOT one of its children in
+        this traversal — the stored orientation key."""
+        (other,) = [
+            nb
+            for nb in self.tree.neighbors(step.node)
+            if nb not in (step.c1, step.c2)
+        ]
+        return other
+
+    # ------------------------------------------------------------------
+    # Likelihood
+    # ------------------------------------------------------------------
+
+    def loglikelihood(self, root_edge: int | None = None) -> float:
+        """Per-partition log-likelihood with the virtual root on
+        ``root_edge`` (default: edge 0).  Time-reversibility makes the
+        result independent of the choice."""
+        edge = 0 if root_edge is None else root_edge
+        self.refresh(edge)
+        a, b = self.tree.edge_nodes(edge)
+        clv_a, sc_a = self._child_clv(a)
+        clv_b, sc_b = self._child_clv(b)
+        p = self._p_matrix(edge)
+        if self._pinv == 0.0:
+            lnl = kernel.evaluate(
+                p, clv_a, sc_a, clv_b, sc_b, self._model.frequencies, self.data.weights
+            )
+        else:
+            site = kernel._root_site_likelihoods(
+                p, clv_a, clv_b, self._model.frequencies
+            )
+            scale = self._combined_scale(sc_a, sc_b)
+            logs = kernel.mix_invariant_loglikelihoods(
+                site, scale, self._pinv, self.invariant_probabilities()
+            )
+            lnl = float(np.dot(self.data.weights, logs))
+        if self.recorder is not None:
+            self.recorder.evaluate(self.index, self.n_patterns)
+        return lnl
+
+    @staticmethod
+    def _combined_scale(
+        sc_a: np.ndarray | None, sc_b: np.ndarray | None
+    ) -> np.ndarray | None:
+        if sc_a is None:
+            return sc_b
+        if sc_b is None:
+            return sc_a
+        return sc_a + sc_b
+
+    def site_loglikelihoods(self, root_edge: int = 0) -> np.ndarray:
+        """Per-pattern log-likelihoods (diagnostics and tests)."""
+        self.refresh(root_edge)
+        a, b = self.tree.edge_nodes(root_edge)
+        clv_a, sc_a = self._child_clv(a)
+        clv_b, sc_b = self._child_clv(b)
+        p = self._p_matrix(root_edge)
+        site = kernel._root_site_likelihoods(
+            p, clv_a if clv_a.ndim == 3 else clv_a,
+            clv_b, self._model.frequencies
+        )
+        logs = np.log(site)
+        if sc_a is not None:
+            logs = logs - sc_a * kernel.LOG_SCALE_FACTOR
+        if sc_b is not None:
+            logs = logs - sc_b * kernel.LOG_SCALE_FACTOR
+        return logs
+
+    # ------------------------------------------------------------------
+    # Branch-length machinery (Newton-Raphson support)
+    # ------------------------------------------------------------------
+
+    def prepare_branch(self, edge: int) -> BranchWorkspace:
+        """Validate the CLVs flanking ``edge`` and build its sumtable."""
+        self.refresh(edge)
+        a, b = self.tree.edge_nodes(edge)
+        clv_a, sc_a = self._child_clv(a)
+        clv_b, sc_b = self._child_clv(b)
+        table = kernel.make_sumtable(
+            clv_a, clv_b, self._eigen.u, self._eigen.v, self._model.frequencies
+        )
+        scale: np.ndarray | None = None
+        if sc_a is not None or sc_b is not None:
+            scale = np.zeros(self.n_patterns, dtype=np.int32)
+            if sc_a is not None:
+                scale = scale + sc_a
+            if sc_b is not None:
+                scale = scale + sc_b
+        if self.recorder is not None:
+            self.recorder.sumtable(self.index, self.n_patterns)
+        return BranchWorkspace(
+            edge=edge, sumtable=table, scale=scale, n_patterns=self.n_patterns
+        )
+
+    def branch_loglikelihood(self, ws: BranchWorkspace, z: float) -> float:
+        """Log-likelihood as a function of the length of ``ws.edge`` with
+        everything else fixed (cheap: no traversal)."""
+        if self.recorder is not None:
+            self.recorder.derivative(self.index, self.n_patterns)
+        z = float(np.clip(z, kernel.MIN_BRANCH, kernel.MAX_BRANCH))
+        if self._pinv == 0.0:
+            return kernel.sumtable_loglikelihood(
+                ws.sumtable,
+                self._eigen.eigenvalues,
+                self._rates,
+                z,
+                self.data.weights,
+                ws.scale,
+            )
+        site = kernel.sumtable_site_likelihoods(
+            ws.sumtable, self._eigen.eigenvalues, self._rates, z
+        )
+        logs = kernel.mix_invariant_loglikelihoods(
+            site, ws.scale, self._pinv, self.invariant_probabilities()
+        )
+        return float(np.dot(self.data.weights, logs))
+
+    def branch_derivatives(self, ws: BranchWorkspace, z: float) -> tuple[float, float]:
+        """(dlnL/dz, d2lnL/dz2) at branch length ``z`` from the sumtable —
+        the per-iteration work of Newton-Raphson."""
+        if self.recorder is not None:
+            self.recorder.derivative(self.index, self.n_patterns)
+        z = float(np.clip(z, kernel.MIN_BRANCH, kernel.MAX_BRANCH))
+        if self._pinv == 0.0:
+            return kernel.branch_derivatives(
+                ws.sumtable,
+                self._eigen.eigenvalues,
+                self._rates,
+                z,
+                self.data.weights,
+            )
+        return kernel.branch_derivatives_pinv(
+            ws.sumtable,
+            self._eigen.eigenvalues,
+            self._rates,
+            z,
+            self.data.weights,
+            ws.scale,
+            self._pinv,
+            self.invariant_probabilities(),
+        )

@@ -1,0 +1,88 @@
+"""PHYLIP and FASTA alignment readers/writers.
+
+RAxML consumes relaxed PHYLIP (taxon names of arbitrary length separated
+from the sequence by whitespace); that is what we emit and the primary
+format we parse.  Interleaved PHYLIP and FASTA are also read, since the
+paper's real-world alignments circulate in both.
+"""
+from __future__ import annotations
+
+from .alignment import Alignment
+from .datatypes import DNA, DataType
+
+__all__ = ["parse_phylip", "write_phylip", "parse_fasta", "write_fasta"]
+
+
+def parse_phylip(text: str, datatype: DataType = DNA) -> Alignment:
+    """Parse sequential or interleaved (relaxed) PHYLIP text."""
+    lines = [ln.rstrip() for ln in text.splitlines() if ln.strip()]
+    if not lines:
+        raise ValueError("empty PHYLIP input")
+    header = lines[0].split()
+    if len(header) != 2:
+        raise ValueError(f"bad PHYLIP header: {lines[0]!r}")
+    n_taxa, n_sites = int(header[0]), int(header[1])
+    body = lines[1:]
+    if len(body) < n_taxa:
+        raise ValueError(f"PHYLIP header promises {n_taxa} taxa, found {len(body)} lines")
+
+    taxa: list[str] = []
+    chunks: list[list[str]] = []
+    for line in body[:n_taxa]:
+        parts = line.split(None, 1)
+        if len(parts) != 2:
+            raise ValueError(f"cannot split taxon/sequence in line {line!r}")
+        taxa.append(parts[0])
+        chunks.append([parts[1].replace(" ", "")])
+    # Interleaved continuation blocks: bare sequence lines cycling taxa.
+    for i, line in enumerate(body[n_taxa:]):
+        chunks[i % n_taxa].append(line.replace(" ", ""))
+
+    sequences = {t: "".join(c) for t, c in zip(taxa, chunks)}
+    for taxon, seq in sequences.items():
+        if len(seq) != n_sites:
+            raise ValueError(
+                f"taxon {taxon!r}: {len(seq)} characters, header says {n_sites}"
+            )
+    return Alignment.from_sequences(sequences, datatype)
+
+
+def write_phylip(alignment: Alignment) -> str:
+    """Relaxed sequential PHYLIP (one line per taxon)."""
+    out = [f"{alignment.n_taxa} {alignment.n_sites}"]
+    for taxon in alignment.taxa:
+        out.append(f"{taxon} {alignment.sequence(taxon)}")
+    return "\n".join(out) + "\n"
+
+
+def parse_fasta(text: str, datatype: DataType = DNA) -> Alignment:
+    """Parse aligned FASTA (all records equal length)."""
+    sequences: dict[str, list[str]] = {}
+    current: list[str] | None = None
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        if line.startswith(">"):
+            name = line[1:].split()[0]
+            if name in sequences:
+                raise ValueError(f"duplicate FASTA record {name!r}")
+            current = sequences.setdefault(name, [])
+        else:
+            if current is None:
+                raise ValueError("FASTA sequence data before first header")
+            current.append(line)
+    if not sequences:
+        raise ValueError("empty FASTA input")
+    return Alignment.from_sequences(
+        {k: "".join(v) for k, v in sequences.items()}, datatype
+    )
+
+
+def write_fasta(alignment: Alignment, width: int = 80) -> str:
+    out: list[str] = []
+    for taxon in alignment.taxa:
+        out.append(f">{taxon}")
+        seq = alignment.sequence(taxon)
+        out.extend(seq[i : i + width] for i in range(0, len(seq), width))
+    return "\n".join(out) + "\n"

@@ -1,0 +1,26 @@
+"""ML tree search: parsimony starting trees, NNI/SPR rearrangements, and
+the hill-climbing driver that alternates tree-search and model-optimization
+phases (paper Section III)."""
+from .moves import MoveResult, nni_swap, spr_move, spr_targets
+from .parsimony import (
+    directional_masks,
+    encode_bitmasks,
+    fitch_score,
+    stepwise_addition_tree,
+)
+from .search import SearchResult, nni_round, spr_round, tree_search
+
+__all__ = [
+    "MoveResult",
+    "SearchResult",
+    "directional_masks",
+    "encode_bitmasks",
+    "fitch_score",
+    "nni_round",
+    "nni_swap",
+    "spr_move",
+    "spr_round",
+    "spr_targets",
+    "stepwise_addition_tree",
+    "tree_search",
+]

@@ -1,0 +1,175 @@
+"""Topology rearrangements: NNI and (lazy-)SPR.
+
+All moves mutate the shared :class:`~repro.plk.tree.Tree` in place, reuse
+the edge ids they free (so branch-length arrays stay aligned), and return
+an undo closure plus the list of inner nodes whose conditional vectors the
+likelihood engines must invalidate.  This mirrors RAxML: after a move only
+a handful of likelihood arrays ("3-4 inner vectors on average", paper
+Section IV) need recomputation.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..plk.tree import Tree
+
+__all__ = ["MoveResult", "nni_swap", "spr_move", "spr_targets"]
+
+
+@dataclass
+class MoveResult:
+    """Record of an applied move.
+
+    Attributes
+    ----------
+    undo:
+        Zero-argument callable restoring the previous topology (branch
+        lengths are the caller's responsibility — the engines own those).
+    invalidate:
+        Inner nodes whose stored CLVs are stale in EITHER the new or the
+        restored topology; pass to ``engine.invalidate_topology`` after
+        apply and again after undo.
+    changed_edges:
+        Edge ids whose meaning (endpoints) changed.
+    """
+
+    undo: Callable[[], None]
+    invalidate: list[int]
+    changed_edges: list[int]
+
+
+def nni_swap(tree: Tree, edge: int, variant: int = 0) -> MoveResult:
+    """Nearest-neighbor interchange across an internal edge.
+
+    The internal edge (u, v) defines four subtrees: (a, b) hanging off u
+    and (c, d) hanging off v.  ``variant`` 0 swaps b and c; ``variant`` 1
+    swaps b and d.  Raises if ``edge`` touches a leaf.
+    """
+    if variant not in (0, 1):
+        raise ValueError("NNI variant must be 0 or 1")
+    u, v = tree.edge_nodes(edge)
+    if tree.is_leaf(u) or tree.is_leaf(v):
+        raise ValueError(f"edge {edge} is not internal")
+    b = [nb for nb in tree.neighbors(u) if nb != v][1]
+    targets = [nb for nb in tree.neighbors(v) if nb != u]
+    c = targets[variant]
+
+    eb = tree.edge_between(u, b)
+    ec = tree.edge_between(v, c)
+    tree._unlink(u, b)
+    tree._unlink(v, c)
+    tree._link(u, c, eb)
+    tree._link(v, b, ec)
+
+    def undo() -> None:
+        tree._unlink(u, c)
+        tree._unlink(v, b)
+        tree._link(u, b, eb)
+        tree._link(v, c, ec)
+
+    return MoveResult(undo=undo, invalidate=[u, v], changed_edges=[eb, ec])
+
+
+def spr_targets(tree: Tree, prune_edge: int, radius: int) -> list[int]:
+    """Candidate regraft edges for pruning the subtree hanging on
+    ``prune_edge``: all edges within ``radius`` hops of the pruning point,
+    excluding edges inside the pruned subtree and the edges dissolved by
+    the prune itself.  Ordered by BFS distance (nearby first), which keeps
+    consecutive evaluations topologically close — the locality RAxML's
+    lazy SPR exploits."""
+    s, a = tree.edge_nodes(prune_edge)
+    # The pruned subtree hangs on the s side; a is the junction that
+    # dissolves.  a must be an inner node.
+    if tree.is_leaf(a):
+        s, a = a, s
+    if tree.is_leaf(a):
+        raise ValueError("cannot prune across a cherry of two leaves")
+    rest = [nb for nb in tree.neighbors(a) if nb != s]
+    b, c = rest
+    banned = {tree.edge_between(a, b), tree.edge_between(a, c), prune_edge}
+
+    out: list[int] = []
+    seen_nodes = {a, s}
+    frontier = [b, c]
+    for _ in range(radius):
+        nxt: list[int] = []
+        for node in frontier:
+            if node in seen_nodes:
+                continue
+            seen_nodes.add(node)
+            for nb in tree.neighbors(node):
+                eid = tree.edge_between(node, nb)
+                if eid not in banned:
+                    banned.add(eid)
+                    out.append(eid)
+                if nb not in seen_nodes:
+                    nxt.append(nb)
+        frontier = nxt
+        if not frontier:
+            break
+    return out
+
+
+def spr_move(tree: Tree, prune_edge: int, target_edge: int) -> MoveResult:
+    """Subtree-prune-and-regraft: detach the subtree hanging on
+    ``prune_edge`` and reinsert it into ``target_edge``.
+
+    Edge-id bookkeeping (ids are reused so length arrays stay valid):
+    pruning junction ``a`` dissolves, fusing its other two edges into one
+    (keeps one id, frees the other); regrafting splits the target edge,
+    consuming the freed id.
+    """
+    s, a = tree.edge_nodes(prune_edge)
+    if tree.is_leaf(a):
+        s, a = a, s
+    if tree.is_leaf(a):
+        raise ValueError("cannot prune across a cherry of two leaves")
+    b, c = [nb for nb in tree.neighbors(a) if nb != s]
+    e_ab = tree.edge_between(a, b)
+    e_ac = tree.edge_between(a, c)
+    x, y = tree.edge_nodes(target_edge)
+    if a in (x, y) or target_edge in (prune_edge, e_ab, e_ac):
+        raise ValueError("target edge is adjacent to the pruning point")
+    # The target must not be inside the pruned subtree.
+    inside = _nodes_under(tree, s, a)
+    if x in inside or y in inside:
+        raise ValueError("target edge lies inside the pruned subtree")
+
+    # Prune: dissolve a, fuse b-c reusing e_ab; free e_ac.
+    tree._unlink(a, b)
+    tree._unlink(a, c)
+    tree._link(b, c, e_ab)
+    # Regraft: split (x, y), reusing target_edge for x-a and e_ac for a-y.
+    tree._unlink(x, y)
+    tree._link(x, a, target_edge)
+    tree._link(a, y, e_ac)
+
+    def undo() -> None:
+        tree._unlink(x, a)
+        tree._unlink(a, y)
+        tree._link(x, y, target_edge)
+        tree._unlink(b, c)
+        tree._link(a, b, e_ab)
+        tree._link(a, c, e_ac)
+
+    invalidate = [n for n in (a, b, c, x, y) if not tree.is_leaf(n)]
+    return MoveResult(
+        undo=undo,
+        invalidate=invalidate,
+        changed_edges=[e_ab, e_ac, target_edge],
+    )
+
+
+def _nodes_under(tree: Tree, node: int, parent: int) -> set[int]:
+    """All nodes (leaves and inner) in the subtree of ``node`` away from
+    ``parent``."""
+    out = {node}
+    stack = [(node, parent)]
+    while stack:
+        cur, par = stack.pop()
+        for nb in tree.neighbors(cur):
+            if nb != par:
+                out.add(nb)
+                stack.append((nb, cur))
+    return out

@@ -1,0 +1,73 @@
+"""Partition-scheme construction helpers.
+
+The paper uses two families of schemes:
+
+* the uniform ``p1000 / p5000 / p10000`` schemes for the simulated
+  datasets (:func:`repro.plk.partition.uniform_scheme`), and
+* variable-length biologically-curated schemes for the real-world
+  alignments (e.g. r125_19839: 34 partitions between 148 and 2,705
+  patterns).  :func:`variable_lengths` draws such a length profile
+  deterministically, honouring the published total / count / min / max.
+"""
+from __future__ import annotations
+
+import numpy as np
+
+from ..plk.datatypes import DataType, get_datatype
+from ..plk.partition import Partition, PartitionScheme
+
+__all__ = ["variable_lengths", "scheme_from_lengths"]
+
+
+def variable_lengths(
+    total: int,
+    count: int,
+    lo: int,
+    hi: int,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Draw ``count`` partition lengths in ``[lo, hi]`` summing to ``total``.
+
+    The smallest and largest entries are pinned to exactly ``lo`` and
+    ``hi`` (matching the min/max the paper reports); interior entries are
+    log-uniform, then iteratively rebalanced to hit the exact total.
+    """
+    if count < 2:
+        raise ValueError("need at least 2 partitions")
+    if not (lo * count <= total <= hi * count):
+        raise ValueError(
+            f"total {total} infeasible for {count} partitions in [{lo}, {hi}]"
+        )
+    lengths = np.exp(rng.uniform(np.log(lo), np.log(hi), size=count))
+    lengths = np.round(lengths).astype(np.int64)
+    lengths[0] = lo
+    lengths[-1] = hi
+    lengths[1:-1] = np.clip(lengths[1:-1], lo, hi)
+
+    # Rebalance interior entries until the sum is exact.
+    for _ in range(10_000):
+        gap = total - int(lengths.sum())
+        if gap == 0:
+            break
+        idx = 1 + int(rng.integers(0, count - 2)) if count > 2 else 0
+        step = int(np.sign(gap)) * min(abs(gap), max(1, abs(gap) // max(count - 2, 1)))
+        new = int(np.clip(lengths[idx] + step, lo, hi))
+        lengths[idx] = new
+    if int(lengths.sum()) != total:
+        raise RuntimeError("length rebalancing failed to converge")
+    return lengths
+
+
+def scheme_from_lengths(
+    lengths: np.ndarray, datatype: DataType | str = "DNA", prefix: str = "gene"
+) -> PartitionScheme:
+    """Consecutive partitions with the given lengths."""
+    dtype = get_datatype(datatype) if isinstance(datatype, str) else datatype
+    parts = []
+    start = 0
+    for i, length in enumerate(np.asarray(lengths, dtype=np.int64)):
+        parts.append(
+            Partition(f"{prefix}{i}", dtype, ((start, start + int(length)),))
+        )
+        start += int(length)
+    return PartitionScheme(tuple(parts))

@@ -1,0 +1,24 @@
+"""Simulated multicore testbed: machine specs for the paper's four
+platforms, a roofline cost model for the kernel ops, and a deterministic
+trace-replay simulator (the substitution for the paper's physical
+machines; see DESIGN.md)."""
+from .costmodel import bytes_per_pattern, flops_per_pattern, seconds_per_pattern
+from .machine import MachineSpec
+from .platforms import BARCELONA, CLOVERTOWN, NEHALEM, PLATFORMS, X4600, get_platform
+from .simulator import SimulationResult, simulate_trace, speedup_curve
+
+__all__ = [
+    "BARCELONA",
+    "CLOVERTOWN",
+    "MachineSpec",
+    "NEHALEM",
+    "PLATFORMS",
+    "SimulationResult",
+    "X4600",
+    "bytes_per_pattern",
+    "flops_per_pattern",
+    "get_platform",
+    "seconds_per_pattern",
+    "simulate_trace",
+    "speedup_curve",
+]

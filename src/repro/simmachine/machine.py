@@ -1,0 +1,120 @@
+"""Machine specifications for the simulated multicore testbed.
+
+The paper's experiments ran on four real machines (Section V,
+"Platforms").  We model each as a :class:`MachineSpec` capturing exactly
+the architectural properties the paper invokes to explain its results:
+
+* per-core double-precision throughput (clock x flops/cycle x an
+  efficiency factor for the PLK inner loops — the Intel cores sustain a
+  higher fraction of peak, which reproduces the paper's "sequential
+  performance on Intel significantly better than AMD");
+* the memory subsystem: per-socket bandwidth for NUMA machines
+  (Barcelona's HyperTransport, Nehalem's QPI, the x4600's 8 sockets) vs a
+  single shared front-side bus (Clovertown) — "all 8 cores of the
+  Clovertown share a common front-side bus ... whereas the AMD NUMA
+  architecture provides a higher aggregated memory bandwidth", and
+  "RAxML is memory-bound";
+* synchronization cost: barrier latency grows with thread count, which is
+  what turns oldPAR's many tiny regions into parallel slowdown at 16
+  cores.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+__all__ = ["MachineSpec"]
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """An abstract shared-memory multicore for trace replay.
+
+    Attributes
+    ----------
+    name:
+        Display name, e.g. ``"Nehalem"``.
+    sockets, cores_per_socket:
+        Topology; total core count is the product.
+    clock_ghz:
+        Core clock.
+    flops_per_cycle:
+        Peak double-precision flops per cycle per core (mul+add pipes).
+    efficiency:
+        Fraction of peak the PLK's fused propagate/product loops sustain.
+    socket_bandwidth_gbs:
+        DRAM bandwidth per socket (GB/s).  For ``shared_bus`` machines
+        this is the *total* front-side-bus bandwidth instead.
+    per_core_bandwidth_gbs:
+        Cap on what a single core can draw (load/store unit limit).
+    shared_bus:
+        True for FSB machines (Clovertown): all threads share one pool.
+    barrier_base_ns, barrier_per_thread_ns:
+        Barrier latency model: ``base + per_thread * T`` nanoseconds.
+    dispatch_ns:
+        Master-side cost to issue one command (region), nanoseconds.
+    """
+
+    name: str
+    sockets: int
+    cores_per_socket: int
+    clock_ghz: float
+    flops_per_cycle: float
+    efficiency: float
+    socket_bandwidth_gbs: float
+    per_core_bandwidth_gbs: float
+    shared_bus: bool = False
+    barrier_base_ns: float = 500.0
+    barrier_per_thread_ns: float = 350.0
+    dispatch_ns: float = 1500.0
+
+    def __post_init__(self) -> None:
+        if self.sockets < 1 or self.cores_per_socket < 1:
+            raise ValueError("need at least one socket and one core")
+        for field_name in (
+            "clock_ghz",
+            "flops_per_cycle",
+            "efficiency",
+            "socket_bandwidth_gbs",
+            "per_core_bandwidth_gbs",
+        ):
+            if getattr(self, field_name) <= 0:
+                raise ValueError(f"{field_name} must be positive")
+        if self.efficiency > 1.0:
+            raise ValueError("efficiency is a fraction of peak")
+
+    @property
+    def cores(self) -> int:
+        return self.sockets * self.cores_per_socket
+
+    def flops_per_second(self) -> float:
+        """Sustained DP flops/s of one core on the PLK loops."""
+        return self.clock_ghz * 1e9 * self.flops_per_cycle * self.efficiency
+
+    def bandwidth_per_thread(self, n_threads: int) -> float:
+        """Effective DRAM bytes/s available to each of ``n_threads``
+        concurrently streaming threads (assumed spread across sockets —
+        the scheduling that maximizes aggregate bandwidth, standard for
+        HPC pinning)."""
+        if n_threads < 1:
+            raise ValueError("need at least one thread")
+        n_threads = min(n_threads, self.cores)
+        if self.shared_bus:
+            total = self.socket_bandwidth_gbs * 1e9
+        else:
+            # Threads spread across sockets engage one memory controller
+            # each until all sockets are busy (the pinning that maximizes
+            # aggregate bandwidth, standard for HPC runs).
+            sockets_used = min(self.sockets, n_threads)
+            total = self.socket_bandwidth_gbs * 1e9 * sockets_used
+        per_thread = total / n_threads
+        return min(per_thread, self.per_core_bandwidth_gbs * 1e9)
+
+    def barrier_seconds(self, n_threads: int) -> float:
+        """Latency of one barrier across ``n_threads`` threads."""
+        if n_threads <= 1:
+            return 0.0
+        return (self.barrier_base_ns + self.barrier_per_thread_ns * n_threads) * 1e-9
+
+    def dispatch_seconds(self) -> float:
+        return self.dispatch_ns * 1e-9

@@ -1,0 +1,94 @@
+"""The paper's four test platforms (Section V, "Platforms").
+
+Constants follow the published hardware where the paper states it
+(sockets, cores, clocks, NUMA vs FSB, "approximately 30GB per second and
+per processor" for Nehalem) and vendor datasheets of the era otherwise
+(DDR2-667 dual-channel ~10.6 GB/s per socket for Barcelona and the
+x4600's Opterons; ~10.6 GB/s total FSB for the dual-bus Clovertown
+platform).  Efficiency factors encode the paper's sequential-performance
+ranking: the Intel cores sustain a larger fraction of peak on the PLK
+loops than the AMD cores (Section V, "Results", last paragraph).
+"""
+from __future__ import annotations
+
+from .machine import MachineSpec
+
+__all__ = ["NEHALEM", "CLOVERTOWN", "BARCELONA", "X4600", "PLATFORMS", "get_platform"]
+
+#: 2-way Intel Nehalem pre-production, 8 cores, 2.933 GHz, QPI NUMA.
+NEHALEM = MachineSpec(
+    name="Nehalem",
+    sockets=2,
+    cores_per_socket=4,
+    clock_ghz=2.933,
+    flops_per_cycle=4.0,
+    efficiency=0.40,
+    socket_bandwidth_gbs=30.0,
+    per_core_bandwidth_gbs=12.0,
+    shared_bus=False,
+    barrier_base_ns=2500.0,
+    barrier_per_thread_ns=1200.0,
+    dispatch_ns=2000.0,
+)
+
+#: 2-way Intel Clovertown, 8 cores, 2.66 GHz, shared front-side bus.
+CLOVERTOWN = MachineSpec(
+    name="Clovertown",
+    sockets=2,
+    cores_per_socket=4,
+    clock_ghz=2.66,
+    flops_per_cycle=4.0,
+    efficiency=0.26,
+    socket_bandwidth_gbs=10.6,  # total FSB pool (shared_bus=True)
+    per_core_bandwidth_gbs=6.0,
+    shared_bus=True,
+    barrier_base_ns=2500.0,
+    barrier_per_thread_ns=1200.0,
+    dispatch_ns=2000.0,
+)
+
+#: 4-way AMD Barcelona, 16 cores, 2.2 GHz, HyperTransport NUMA.
+BARCELONA = MachineSpec(
+    name="Barcelona",
+    sockets=4,
+    cores_per_socket=4,
+    clock_ghz=2.2,
+    flops_per_cycle=4.0,
+    efficiency=0.22,
+    socket_bandwidth_gbs=10.6,
+    per_core_bandwidth_gbs=5.0,
+    shared_bus=False,
+    barrier_base_ns=3500.0,
+    barrier_per_thread_ns=2000.0,
+    dispatch_ns=2500.0,
+)
+
+#: 8-way Sun x4600 (dual-core Opterons), 16 cores, 2.6 GHz, NUMA.
+X4600 = MachineSpec(
+    name="x4600",
+    sockets=8,
+    cores_per_socket=2,
+    clock_ghz=2.6,
+    flops_per_cycle=2.0,
+    efficiency=0.40,
+    socket_bandwidth_gbs=6.4,
+    per_core_bandwidth_gbs=4.0,
+    shared_bus=False,
+    barrier_base_ns=4000.0,
+    barrier_per_thread_ns=2500.0,
+    dispatch_ns=2500.0,
+)
+
+PLATFORMS: dict[str, MachineSpec] = {
+    spec.name.lower(): spec for spec in (NEHALEM, CLOVERTOWN, BARCELONA, X4600)
+}
+
+
+def get_platform(name: str) -> MachineSpec:
+    """Look up one of the paper's platforms by (case-insensitive) name."""
+    try:
+        return PLATFORMS[name.lower()]
+    except KeyError:
+        raise KeyError(
+            f"unknown platform {name!r}; known: {sorted(PLATFORMS)}"
+        ) from None

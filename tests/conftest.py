@@ -1,0 +1,70 @@
+"""Shared fixtures: small deterministic datasets and trees."""
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.plk import (
+    Alignment,
+    PartitionedAlignment,
+    SubstitutionModel,
+    Tree,
+    uniform_scheme,
+)
+from repro.seqgen import random_topology_with_lengths, simulate_alignment
+
+
+@pytest.fixture(scope="session")
+def rng():
+    return np.random.default_rng(20090715)  # ICPP 2009
+
+
+@pytest.fixture(scope="session")
+def small_tree():
+    """A fixed 6-taxon tree with branch lengths."""
+    rng = np.random.default_rng(11)
+    tree, lengths = random_topology_with_lengths(6, rng)
+    return tree, lengths
+
+
+@pytest.fixture(scope="session")
+def small_alignment(small_tree):
+    """600 columns simulated on the 6-taxon tree under GTR+Gamma."""
+    tree, lengths = small_tree
+    model = SubstitutionModel.random_gtr(3)
+    return simulate_alignment(
+        tree, lengths, model, alpha=0.8, n_sites=600, rng=np.random.default_rng(7)
+    )
+
+
+@pytest.fixture(scope="session")
+def small_partitioned(small_alignment):
+    """The 600 columns split into 3 partitions of 200."""
+    return PartitionedAlignment(small_alignment, uniform_scheme(600, 200))
+
+
+@pytest.fixture()
+def tiny_alignment():
+    """A hand-written 4-taxon alignment (8 columns, with ambiguity)."""
+    return Alignment.from_sequences(
+        {
+            "a": "ACGTACGT",
+            "b": "ACGTACGA",
+            "c": "ACGTTCGA",
+            "d": "ACG-TCGA",
+        }
+    )
+
+
+@pytest.fixture()
+def quartet_tree():
+    """The 4-taxon tree ((a,b),(c,d)) with known structure."""
+    tree = Tree(("a", "b", "c", "d"))
+    # inner nodes 4 and 5
+    tree._link(0, 4, 0)
+    tree._link(1, 4, 1)
+    tree._link(2, 5, 2)
+    tree._link(3, 5, 3)
+    tree._link(4, 5, 4)
+    tree.validate()
+    return tree

@@ -1,0 +1,138 @@
+"""Unit + property tests for alignments and pattern compression."""
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.plk import AA, DNA, Alignment, compress_columns
+
+
+def _aln(seqs):
+    return Alignment.from_sequences(seqs)
+
+
+class TestConstruction:
+    def test_basic(self):
+        a = _aln({"x": "ACGT", "y": "AC-T"})
+        assert a.n_taxa == 2
+        assert a.n_sites == 4
+        assert a.taxa == ("x", "y")
+
+    def test_sequences_uppercased(self):
+        a = _aln({"x": "acgt"})
+        assert a.sequence("x") == "ACGT"
+
+    def test_unequal_lengths_rejected(self):
+        with pytest.raises(ValueError, match="unequal"):
+            _aln({"x": "ACGT", "y": "ACG"})
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            Alignment.from_sequences({})
+
+    def test_duplicate_taxa_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            Alignment(("x", "x"), np.full((2, 3), 65, dtype=np.uint8))
+
+    def test_matrix_is_readonly(self):
+        a = _aln({"x": "ACGT"})
+        with pytest.raises(ValueError):
+            a.matrix[0, 0] = 1
+
+    def test_column_slice(self):
+        a = _aln({"x": "ACGT", "y": "TGCA"})
+        sub = a.columns(1, 3)
+        assert sub.sequence("x") == "CG"
+        assert sub.sequence("y") == "GC"
+
+    def test_bad_column_range(self):
+        a = _aln({"x": "ACGT"})
+        with pytest.raises(IndexError):
+            a.columns(2, 9)
+
+
+class TestCompression:
+    def test_all_unique(self):
+        a = _aln({"x": "ACGT", "y": "AAAA"})
+        patterns, weights, site_map = a.compress()
+        assert patterns.n_sites == 4
+        np.testing.assert_array_equal(weights, [1, 1, 1, 1])
+
+    def test_duplicates_merged(self):
+        a = _aln({"x": "AACA", "y": "GGTG"})
+        patterns, weights, site_map = a.compress()
+        assert patterns.n_sites == 2
+        assert weights.sum() == 4
+        # first-appearance order: column (A,G) then (C,T)
+        assert patterns.sequence("x") == "AC"
+        np.testing.assert_array_equal(weights, [3, 1])
+        np.testing.assert_array_equal(site_map, [0, 0, 1, 0])
+
+    def test_site_map_reconstructs_original(self):
+        a = _aln({"x": "ACGTACGA", "y": "ACGGACGA"})
+        patterns, weights, site_map = a.compress()
+        rebuilt = patterns.matrix[:, site_map]
+        np.testing.assert_array_equal(rebuilt, a.matrix)
+
+    def test_weights_count_multiplicity(self):
+        a = _aln({"x": "AAAA"})
+        _, weights, _ = a.compress()
+        np.testing.assert_array_equal(weights, [4])
+
+    def test_compress_columns_rejects_1d(self):
+        with pytest.raises(ValueError):
+            compress_columns(np.zeros(5, dtype=np.uint8))
+
+
+class TestEncodeTips:
+    def test_shape(self):
+        a = _aln({"x": "ACGT", "y": "NNNN"})
+        enc = a.encode_tips()
+        assert enc.shape == (2, 4, 4)
+        np.testing.assert_array_equal(enc[0], np.eye(4))
+        np.testing.assert_array_equal(enc[1], np.ones((4, 4)))
+
+    def test_aa_shape(self):
+        a = Alignment.from_sequences({"x": "ARND"}, AA)
+        assert a.encode_tips().shape == (1, 4, 20)
+
+
+@st.composite
+def dna_alignments(draw):
+    n_taxa = draw(st.integers(2, 6))
+    n_sites = draw(st.integers(1, 40))
+    chars = st.sampled_from("ACGT-N")
+    seqs = {
+        f"t{i}": "".join(draw(st.lists(chars, min_size=n_sites, max_size=n_sites)))
+        for i in range(n_taxa)
+    }
+    return Alignment.from_sequences(seqs)
+
+
+class TestCompressionProperties:
+    @given(dna_alignments())
+    @settings(max_examples=60, deadline=None)
+    def test_weights_sum_to_site_count(self, aln):
+        _, weights, _ = aln.compress()
+        assert weights.sum() == aln.n_sites
+
+    @given(dna_alignments())
+    @settings(max_examples=60, deadline=None)
+    def test_patterns_are_distinct(self, aln):
+        patterns, _, _ = aln.compress()
+        cols = {patterns.matrix[:, j].tobytes() for j in range(patterns.n_sites)}
+        assert len(cols) == patterns.n_sites
+
+    @given(dna_alignments())
+    @settings(max_examples=60, deadline=None)
+    def test_site_map_is_exact(self, aln):
+        patterns, _, site_map = aln.compress()
+        np.testing.assert_array_equal(patterns.matrix[:, site_map], aln.matrix)
+
+    @given(dna_alignments())
+    @settings(max_examples=60, deadline=None)
+    def test_compression_idempotent(self, aln):
+        patterns, _, _ = aln.compress()
+        again, weights, _ = patterns.compress()
+        assert again.n_sites == patterns.n_sites
+        assert (weights == 1).all()

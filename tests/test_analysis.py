@@ -1,0 +1,132 @@
+"""Analysis entry-point and report tests (small instances)."""
+import numpy as np
+import pytest
+
+from repro.bench import (
+    format_runtime_figure,
+    format_speedup_figure,
+    improvement_factors,
+    runtime_figure,
+    speedup_figure,
+)
+from repro.core.analysis import (
+    run_model_optimization,
+    run_tree_search,
+    unpartitioned_view,
+)
+from repro.plk import Alignment, PartitionedAlignment, parse_partition_file, uniform_scheme
+from repro.simmachine import NEHALEM, X4600
+
+
+@pytest.fixture(scope="module")
+def tiny_dataset():
+    from repro.seqgen import simulated_dataset
+
+    return simulated_dataset(8, 1_200, 400, seed=3)
+
+
+class TestRuns:
+    def test_model_optimization_produces_trace(self, tiny_dataset):
+        ds = tiny_dataset
+        run = run_model_optimization(
+            ds.partitioned(), ds.tree, strategy="new",
+            initial_lengths=ds.true_lengths, max_rounds=1,
+        )
+        assert np.isfinite(run.loglikelihood)
+        assert run.trace.n_regions > 0
+        assert run.trace.pattern_counts is not None
+
+    def test_search_produces_trace(self, tiny_dataset):
+        ds = tiny_dataset
+        run = run_tree_search(
+            ds.partitioned(), ds.tree, strategy="old",
+            initial_lengths=ds.true_lengths, radius=1, max_candidates=5,
+        )
+        assert run.trace.n_regions > 0
+        assert "old" in run.description
+
+    def test_old_new_same_work(self, tiny_dataset):
+        ds = tiny_dataset
+        runs = {
+            s: run_model_optimization(
+                ds.partitioned(), ds.tree, strategy=s,
+                initial_lengths=ds.true_lengths, max_rounds=1,
+            )
+            for s in ("old", "new")
+        }
+        assert runs["old"].loglikelihood == pytest.approx(
+            runs["new"].loglikelihood, abs=0.5
+        )
+        assert runs["old"].trace.n_regions > runs["new"].trace.n_regions
+
+    def test_original_tree_not_mutated(self, tiny_dataset):
+        ds = tiny_dataset
+        before = ds.tree.splits()
+        run_tree_search(
+            ds.partitioned(), ds.tree, radius=1, max_candidates=4,
+            initial_lengths=ds.true_lengths,
+        )
+        assert ds.tree.splits() == before
+
+
+class TestUnpartitionedView:
+    def test_collapses_to_one_partition(self, tiny_dataset):
+        pa = tiny_dataset.partitioned()
+        flat = unpartitioned_view(pa)
+        assert flat.n_partitions == 1
+        # columns unique within partitions may coincide across partitions,
+        # so global compression can only merge
+        assert flat.n_patterns <= pa.n_patterns
+        assert flat.data[0].weights.sum() == pa.alignment.n_sites
+
+    def test_mixed_datatypes_rejected(self):
+        aln = Alignment.from_sequences({"x": "ACGTARND", "y": "ACCTARNE", "z": "AGGTARWD"})
+        scheme = parse_partition_file("DNA, d = 1-4\nAA, p = 5-8")
+        pa = PartitionedAlignment(aln, scheme)
+        with pytest.raises(ValueError, match="mixed"):
+            unpartitioned_view(pa)
+
+
+class TestReports:
+    @pytest.fixture(scope="class")
+    def traces(self, tiny_dataset):
+        ds = tiny_dataset
+        return {
+            s: run_model_optimization(
+                ds.partitioned(), ds.tree, strategy=s,
+                initial_lengths=ds.true_lengths, max_rounds=1,
+            ).trace
+            for s in ("old", "new")
+        }
+
+    def test_runtime_figure_rows(self, traces):
+        rows = runtime_figure(traces["old"], traces["new"])
+        assert [r.platform for r in rows] == [
+            "Nehalem", "Clovertown", "Barcelona", "x4600",
+        ]
+        for row in rows:
+            assert row.sequential > row.new8
+            assert row.improvement(8) >= 1.0
+        # 16-thread columns only on the 16-core machines
+        assert rows[0].old16 is None
+        assert rows[2].old16 is not None
+
+    def test_formatting(self, traces):
+        rows = runtime_figure(traces["old"], traces["new"])
+        text = format_runtime_figure(rows, "TITLE")
+        assert "TITLE" in text and "Nehalem" in text and "imp@8" in text
+
+    def test_improvement_factors(self, traces):
+        rows = runtime_figure(traces["old"], traces["new"])
+        fac = improvement_factors(rows)
+        assert set(fac) == {"Nehalem", "Clovertown", "Barcelona", "x4600"}
+        assert 16 in fac["x4600"] and 16 not in fac["Nehalem"]
+
+    def test_speedup_figure(self, traces):
+        series = speedup_figure(
+            {"Old": traces["old"], "New": traces["new"]}, NEHALEM, (2, 4, 8)
+        )
+        text = format_speedup_figure(series, "FIG6")
+        assert "FIG6" in text
+        by_label = {s.label: s.speedups for s in series}
+        assert by_label["New"][8] >= by_label["Old"][8]

@@ -1,0 +1,86 @@
+"""Bootstrap-replicate tests."""
+import numpy as np
+import pytest
+
+from repro.core import PartitionedEngine
+from repro.plk import SubstitutionModel
+from repro.seqgen.bootstrap import (
+    bootstrap_replicate,
+    bootstrap_weights,
+    split_support,
+)
+from repro.seqgen import random_topology_with_lengths
+from repro.search import tree_search, stepwise_addition_tree
+
+
+class TestWeights:
+    def test_totals_preserved(self, small_partitioned):
+        rng = np.random.default_rng(1)
+        weights = bootstrap_weights(small_partitioned, rng)
+        for block, w in zip(small_partitioned.data, weights):
+            assert w.sum() == block.weights.sum()
+            assert (w >= 0).all()
+
+    def test_expectation_matches_original(self, small_partitioned):
+        """Mean over many replicates converges to the original weights."""
+        rng = np.random.default_rng(2)
+        acc = np.zeros_like(small_partitioned.data[0].weights, dtype=float)
+        n = 300
+        for _ in range(n):
+            acc += bootstrap_weights(small_partitioned, rng)[0]
+        original = small_partitioned.data[0].weights
+        # multinomial std of the mean is ~sqrt(w / n); allow 5 sigma
+        tol = 5 * np.sqrt(np.maximum(original, 1) / n)
+        assert (np.abs(acc / n - original) <= tol).all()
+
+
+class TestReplicate:
+    def test_shares_tip_arrays(self, small_partitioned):
+        rng = np.random.default_rng(3)
+        rep = bootstrap_replicate(small_partitioned, rng)
+        for orig, new in zip(small_partitioned.data, rep.data):
+            assert new.tip_states is orig.tip_states
+
+    def test_engine_accepts_replicate(self, small_partitioned, small_tree):
+        tree, lengths = small_tree
+        rng = np.random.default_rng(4)
+        rep = bootstrap_replicate(small_partitioned, rng)
+        engine = PartitionedEngine(rep, tree.copy(), initial_lengths=lengths)
+        original = PartitionedEngine(
+            small_partitioned, tree.copy(), initial_lengths=lengths
+        )
+        lnl_rep = engine.loglikelihood()
+        lnl_orig = original.loglikelihood()
+        assert np.isfinite(lnl_rep)
+        assert lnl_rep != pytest.approx(lnl_orig)  # different weighting
+
+    def test_replicates_differ(self, small_partitioned):
+        rng = np.random.default_rng(5)
+        a = bootstrap_replicate(small_partitioned, rng)
+        b = bootstrap_replicate(small_partitioned, rng)
+        assert not np.array_equal(a.data[0].weights, b.data[0].weights)
+
+
+class TestSplitSupport:
+    def test_identical_trees_full_support(self):
+        rng = np.random.default_rng(6)
+        tree, _ = random_topology_with_lengths(8, rng)
+        support = split_support(tree, [tree.copy() for _ in range(5)])
+        assert all(v == 1.0 for v in support.values())
+        assert len(support) == 8 - 3
+
+    def test_unrelated_trees_low_support(self):
+        rng = np.random.default_rng(7)
+        ref, _ = random_topology_with_lengths(10, rng)
+        others = [
+            random_topology_with_lengths(10, np.random.default_rng(100 + i))[0]
+            for i in range(6)
+        ]
+        support = split_support(ref, others)
+        assert np.mean(list(support.values())) < 0.5
+
+    def test_empty_replicates_rejected(self):
+        rng = np.random.default_rng(8)
+        tree, _ = random_topology_with_lengths(6, rng)
+        with pytest.raises(ValueError):
+            split_support(tree, [])

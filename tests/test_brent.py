@@ -1,0 +1,120 @@
+"""Batched-Brent tests: correctness vs scipy, lock-step masking semantics.
+
+The central newPAR correctness claim: the batched solver reaches the same
+optima as independent scalar runs — simultaneity changes the schedule, not
+the result.
+"""
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy.optimize import minimize_scalar
+
+from repro.optimize import BatchedBrent, brent_minimize
+
+
+class TestScalar:
+    def test_quadratic(self):
+        x, fx, n = brent_minimize(lambda v: (v - 2.0) ** 2, 0.0, 5.0)
+        assert x == pytest.approx(2.0, abs=1e-3)
+        assert n < 30
+
+    def test_matches_scipy(self):
+        fn = lambda v: np.cos(v) + 0.1 * v
+        ours, _, _ = brent_minimize(fn, 0.5, 6.0, xtol=1e-6)
+        ref = minimize_scalar(fn, bounds=(0.5, 6.0), method="bounded").x
+        assert ours == pytest.approx(ref, abs=1e-4)
+
+    def test_minimum_at_boundary(self):
+        x, _, _ = brent_minimize(lambda v: v, 1.0, 3.0)
+        assert x == pytest.approx(1.0, abs=1e-3)
+
+    def test_guess_respected(self):
+        calls = []
+
+        def fn(v):
+            calls.append(v)
+            return (v - 1.5) ** 2
+
+        brent_minimize(fn, 0.0, 10.0, guess=1.5)
+        assert calls[0] == pytest.approx(1.5, abs=1e-3)
+
+
+class TestBatched:
+    def test_independent_lanes_match_scalar(self):
+        """The newPAR invariant: batch == per-lane scalar runs."""
+        targets = np.array([0.3, 1.7, 4.2, 0.9])
+        fn = lambda x, active: (x - targets) ** 4 + 3.0
+        solver = BatchedBrent(np.full(4, 0.01), np.full(4, 10.0), xtol=1e-6)
+        batch = solver.run(fn, guess=np.full(4, 2.0))
+        for lane in range(4):
+            x, fx, _ = brent_minimize(
+                lambda v, t=targets[lane]: (v - t) ** 4 + 3.0,
+                0.01,
+                10.0,
+                guess=2.0,
+                xtol=1e-6,
+            )
+            assert batch.x[lane] == pytest.approx(x, abs=1e-5)
+        assert batch.converged.all()
+
+    def test_iteration_counts_differ_per_lane(self):
+        """Different curvature -> different convergence speed; this
+        variance IS the paper's load-imbalance source."""
+        fn = lambda x, active: np.where(
+            np.arange(4) % 2 == 0, (x - 1.0) ** 2, np.abs(x - 3.0) ** 1.2
+        )
+        solver = BatchedBrent(np.full(4, 0.01), np.full(4, 10.0))
+        res = solver.run(fn)
+        assert len(set(res.iterations.tolist())) > 1
+        assert res.rounds == res.iterations.max()
+
+    def test_inactive_lanes_never_evaluated(self):
+        seen = []
+
+        def fn(x, active):
+            seen.append(active.copy())
+            return (x - 1.0) ** 2
+
+        solver = BatchedBrent(np.full(3, 0.01), np.full(3, 5.0))
+        mask = np.array([True, False, True])
+        res = solver.run(fn, mask=mask)
+        for act in seen:
+            assert not act[1]
+        assert res.iterations[1] == 0
+        assert not res.converged[1]
+
+    def test_convergence_mask_shrinks(self):
+        """Once a lane converges it stops being evaluated (the paper's
+        boolean convergence vector)."""
+        active_history = []
+
+        def fn(x, active):
+            active_history.append(active.sum())
+            # lane 0: sharp quadratic (fast); lane 1: quartic plateau (slow)
+            return np.array([(x[0] - 1.0) ** 2 * 100, (x[1] - 3.0) ** 4 * 1e-3])
+
+        solver = BatchedBrent(np.full(2, 0.01), np.full(2, 6.0), xtol=1e-8)
+        solver.run(fn)
+        assert active_history[0] == 2
+        assert active_history[-1] == 1  # one lane retired early
+
+    def test_bounds_validation(self):
+        with pytest.raises(ValueError):
+            BatchedBrent(np.array([1.0]), np.array([1.0]))
+        with pytest.raises(ValueError):
+            BatchedBrent(np.array([1.0, 2.0]), np.array([3.0]))
+
+    @given(
+        st.lists(st.floats(0.1, 9.9), min_size=1, max_size=8),
+        st.integers(0, 100),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_finds_quadratic_minima(self, targets, seed):
+        t = np.array(targets)
+        k = len(t)
+        fn = lambda x, active: (x - t) ** 2
+        solver = BatchedBrent(np.full(k, 0.0), np.full(k, 10.0), xtol=1e-6)
+        guess = np.random.default_rng(seed).uniform(0.5, 9.5, k)
+        res = solver.run(fn, guess=guess)
+        np.testing.assert_allclose(res.x, t, atol=1e-3)

@@ -1,0 +1,175 @@
+"""Command-line interface tests (in-process main() invocations)."""
+from pathlib import Path
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture()
+def dataset_files(tmp_path):
+    rc = main(
+        [
+            "simulate",
+            "--taxa", "8",
+            "--sites", "900",
+            "--partition-length", "300",
+            "--seed", "5",
+            "--out", str(tmp_path / "demo"),
+        ]
+    )
+    assert rc == 0
+    return tmp_path / "demo"
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_simulate_args(self):
+        args = build_parser().parse_args(
+            ["simulate", "--taxa", "10", "--sites", "100", "--out", "x"]
+        )
+        assert args.command == "simulate"
+        assert args.partition_length == 1_000
+
+    def test_analyze_defaults(self):
+        args = build_parser().parse_args(["analyze", "--alignment", "a.phy"])
+        assert args.strategy == "new"
+        assert args.branch_mode == "per_partition"
+        assert not args.search
+
+
+class TestSimulate(object):
+    def test_writes_three_files(self, dataset_files):
+        for suffix in (".phy", ".part", ".nwk"):
+            assert dataset_files.with_suffix(suffix).exists()
+
+    def test_outputs_parse_back(self, dataset_files):
+        from repro.plk import parse_newick, parse_partition_file, parse_phylip
+
+        aln = parse_phylip(dataset_files.with_suffix(".phy").read_text())
+        assert aln.n_taxa == 8 and aln.n_sites == 900
+        scheme = parse_partition_file(dataset_files.with_suffix(".part").read_text())
+        assert len(scheme) == 3
+        tree, lengths = parse_newick(dataset_files.with_suffix(".nwk").read_text())
+        assert set(tree.taxa) == set(aln.taxa)
+
+
+class TestAnalyze:
+    def test_model_optimization(self, dataset_files, capsys, tmp_path):
+        rc = main(
+            [
+                "analyze",
+                "--alignment", str(dataset_files.with_suffix(".phy")),
+                "--partitions", str(dataset_files.with_suffix(".part")),
+                "--tree", str(dataset_files.with_suffix(".nwk")),
+                "--rounds", "1",
+                "--trace-summary",
+                "--out-tree", str(tmp_path / "out.nwk"),
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "final log-likelihood" in out
+        assert "schedule:" in out
+        assert (tmp_path / "out.nwk").exists()
+
+    def test_search_with_parsimony_start(self, dataset_files, capsys):
+        rc = main(
+            [
+                "analyze",
+                "--alignment", str(dataset_files.with_suffix(".phy")),
+                "--partitions", str(dataset_files.with_suffix(".part")),
+                "--search",
+                "--radius", "2",
+                "--rounds", "1",
+                "--strategy", "old",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "parsimony" in out
+        assert "search:" in out
+
+    def test_single_partition_default(self, dataset_files, capsys):
+        rc = main(
+            [
+                "analyze",
+                "--alignment", str(dataset_files.with_suffix(".phy")),
+                "--tree", str(dataset_files.with_suffix(".nwk")),
+                "--rounds", "1",
+            ]
+        )
+        assert rc == 0
+        assert "partitions: 1," in capsys.readouterr().out
+
+    def test_taxa_mismatch_fails(self, dataset_files, tmp_path, capsys):
+        (tmp_path / "bad.nwk").write_text("(x:1,y:1,z:1);\n")
+        rc = main(
+            [
+                "analyze",
+                "--alignment", str(dataset_files.with_suffix(".phy")),
+                "--tree", str(tmp_path / "bad.nwk"),
+            ]
+        )
+        assert rc == 2
+
+
+class TestReplay:
+    def test_replay_small(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE_CACHE", str(tmp_path / "cache"))
+        rc = main(
+            [
+                "replay",
+                "--dataset", "d10_5000_p1000",
+                "--analysis", "modelopt",
+                "--threads", "1", "8",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Nehalem" in out and "x4600" in out
+        # improvement column present and >= 1 for 8 threads
+        lines = [l for l in out.splitlines() if l.startswith("Nehalem") and " 8 " in l]
+        assert lines
+
+
+class TestCheckpointFlow:
+    def test_checkpoint_and_resume(self, dataset_files, tmp_path, capsys):
+        ckpt = tmp_path / "run.ckpt"
+        rc = main(
+            [
+                "analyze",
+                "--alignment", str(dataset_files.with_suffix(".phy")),
+                "--partitions", str(dataset_files.with_suffix(".part")),
+                "--tree", str(dataset_files.with_suffix(".nwk")),
+                "--rounds", "1",
+                "--checkpoint", str(ckpt),
+            ]
+        )
+        assert rc == 0
+        first = capsys.readouterr().out
+        lnl_first = float(
+            next(l for l in first.splitlines() if "final log-likelihood" in l)
+            .split(":")[1].split()[0]
+        )
+        rc = main(
+            [
+                "analyze",
+                "--alignment", str(dataset_files.with_suffix(".phy")),
+                "--partitions", str(dataset_files.with_suffix(".part")),
+                "--resume", str(ckpt),
+                "--rounds", "1",
+            ]
+        )
+        assert rc == 0
+        second = capsys.readouterr().out
+        assert "resumed from checkpoint" in second
+        lnl_second = float(
+            next(l for l in second.splitlines() if "final log-likelihood" in l)
+            .split(":")[1].split()[0]
+        )
+        # resuming from an optimized state cannot be worse
+        assert lnl_second >= lnl_first - 0.5

@@ -1,0 +1,61 @@
+"""Paper-dataset generator tests (small instances)."""
+import numpy as np
+import pytest
+
+from repro.seqgen import (
+    PAPER_REALWORLD,
+    PAPER_SIMULATED,
+    paper_dataset,
+    simulated_dataset,
+)
+
+
+class TestSimulatedMatrix:
+    def test_paper_matrix_spec(self):
+        assert len(PAPER_SIMULATED) == 12
+        assert (10, 5_000) in PAPER_SIMULATED
+        assert (100, 50_000) in PAPER_SIMULATED
+
+    def test_small_instance(self):
+        ds = simulated_dataset(10, 5_000, 1_000, seed=1)
+        assert ds.n_taxa == 10
+        assert ds.n_partitions == 5
+        assert ds.alignment.n_sites == 5_000
+        pa = ds.partitioned()
+        # m == m': all columns unique within partitions
+        np.testing.assert_array_equal(pa.pattern_counts(), [1_000] * 5)
+
+    def test_heterogeneous_generating_params(self):
+        ds = simulated_dataset(10, 5_000, 1_000, seed=1)
+        assert len(set(np.round(ds.alphas, 6))) > 1
+
+    def test_cache_returns_same_object(self):
+        a = simulated_dataset(10, 5_000, 1_000, seed=1)
+        b = simulated_dataset(10, 5_000, 1_000, seed=1)
+        assert a is b
+
+    def test_indivisible_scheme_rejected(self):
+        with pytest.raises(ValueError, match="divide"):
+            simulated_dataset(10, 5_000, 10_000)
+
+
+class TestPaperDatasetIds:
+    def test_simulated_id(self):
+        ds = paper_dataset("d10_5000_p1000", seed=1)
+        assert ds.name == "d10_5000_p1000"
+
+    def test_bad_id(self):
+        with pytest.raises(ValueError, match="look like"):
+            paper_dataset("d10")
+
+    def test_unknown_realworld(self):
+        with pytest.raises(KeyError, match="unknown real-world"):
+            from repro.seqgen import realworld_standin
+
+            realworld_standin("r999_1")
+
+    def test_realworld_specs_match_paper(self):
+        taxa, parts, total, lo, hi, dtype = PAPER_REALWORLD["r125_19839"]
+        assert (taxa, parts, total, lo, hi, dtype) == (125, 34, 19_839, 148, 2_705, "DNA")
+        assert PAPER_REALWORLD["r26_21451"][5] == "AA"
+        assert PAPER_REALWORLD["r24_16916"][:3] == (24, 20, 16_916)

@@ -1,0 +1,90 @@
+"""Unit tests for state spaces and ambiguity encoding."""
+import numpy as np
+import pytest
+
+from repro.plk import AA, DNA, get_datatype
+from repro.plk.datatypes import DataType
+
+
+class TestDNA:
+    def test_states(self):
+        assert DNA.states == 4
+        assert DNA.symbols == "ACGT"
+
+    def test_canonical_encoding_is_one_hot(self):
+        enc = DNA.encode("ACGT")
+        assert enc.shape == (4, 4)
+        np.testing.assert_array_equal(enc, np.eye(4))
+
+    def test_lowercase_equals_uppercase(self):
+        np.testing.assert_array_equal(DNA.encode("acgt"), DNA.encode("ACGT"))
+
+    def test_gap_is_fully_ambiguous(self):
+        for sym in "-?NX":
+            np.testing.assert_array_equal(DNA.encode(sym), np.ones((1, 4)))
+
+    def test_purine_pyrimidine_codes(self):
+        np.testing.assert_array_equal(DNA.encode("R")[0], [1, 0, 1, 0])  # A/G
+        np.testing.assert_array_equal(DNA.encode("Y")[0], [0, 1, 0, 1])  # C/T
+
+    def test_two_state_codes(self):
+        np.testing.assert_array_equal(DNA.encode("S")[0], [0, 1, 1, 0])  # C/G
+        np.testing.assert_array_equal(DNA.encode("W")[0], [1, 0, 0, 1])  # A/T
+        np.testing.assert_array_equal(DNA.encode("K")[0], [0, 0, 1, 1])  # G/T
+        np.testing.assert_array_equal(DNA.encode("M")[0], [1, 1, 0, 0])  # A/C
+
+    def test_three_state_codes(self):
+        assert DNA.encode("B")[0].sum() == 3 and DNA.encode("B")[0][0] == 0
+        assert DNA.encode("D")[0].sum() == 3 and DNA.encode("D")[0][1] == 0
+        assert DNA.encode("H")[0].sum() == 3 and DNA.encode("H")[0][2] == 0
+        assert DNA.encode("V")[0].sum() == 3 and DNA.encode("V")[0][3] == 0
+
+    def test_rna_uracil_maps_to_t(self):
+        np.testing.assert_array_equal(DNA.encode("U")[0], [0, 0, 0, 1])
+
+    def test_decode_roundtrip(self):
+        assert DNA.decode_states([0, 1, 2, 3]) == "ACGT"
+
+
+class TestAA:
+    def test_states(self):
+        assert AA.states == 20
+        assert len(set(AA.symbols)) == 20
+
+    def test_canonical_encoding_is_one_hot(self):
+        enc = AA.encode(AA.symbols)
+        np.testing.assert_array_equal(enc, np.eye(20))
+
+    def test_b_is_asn_or_asp(self):
+        row = AA.encode("B")[0]
+        assert row.sum() == 2
+        assert row[AA.symbols.index("N")] == 1
+        assert row[AA.symbols.index("D")] == 1
+
+    def test_z_is_gln_or_glu(self):
+        row = AA.encode("Z")[0]
+        assert row[AA.symbols.index("Q")] == 1
+        assert row[AA.symbols.index("E")] == 1
+
+    def test_gap_fully_ambiguous(self):
+        np.testing.assert_array_equal(AA.encode("-")[0], np.ones(20))
+
+
+class TestRegistry:
+    def test_lookup_case_insensitive(self):
+        assert get_datatype("dna") is DNA
+        assert get_datatype("DNA") is DNA
+        assert get_datatype("aa") is AA
+        assert get_datatype("protein") is AA
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError, match="unknown datatype"):
+            get_datatype("codon")
+
+    def test_symbol_count_validated(self):
+        with pytest.raises(ValueError):
+            DataType(name="bad", states=3, symbols="AC")
+
+    def test_encoding_table_shape(self):
+        assert DNA.encoding_table().shape == (256, 4)
+        assert AA.encoding_table().shape == (256, 20)

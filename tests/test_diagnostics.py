@@ -1,0 +1,68 @@
+"""Schedule-diagnostics tests."""
+import numpy as np
+import pytest
+
+from repro.bench import diagnose_trace
+from repro.core import Region, Trace, WorkItem
+
+
+def trace_of(regions, counts):
+    return Trace(
+        regions=regions,
+        pattern_counts=np.asarray(counts, dtype=np.int64),
+        states=np.full(len(counts), 4, dtype=np.int64),
+    )
+
+
+class TestDiagnostics:
+    def test_single_partition_fraction(self):
+        regions = [
+            Region(items=[WorkItem(0, "derivative", 100, 1)]),
+            Region(items=[WorkItem(0, "derivative", 100, 1), WorkItem(1, "derivative", 50, 1)]),
+        ]
+        d = diagnose_trace(trace_of(regions, [100, 50]), 4)
+        assert d.single_partition_fraction == 0.5
+        assert d.n_regions == 2
+
+    def test_ops_quantiles(self):
+        regions = [
+            Region(items=[WorkItem(0, "newview", 100, 2)]),   # 200 ops
+            Region(items=[WorkItem(0, "newview", 100, 10)]),  # 1000 ops
+        ]
+        d = diagnose_trace(trace_of(regions, [100]), 2)
+        lo, med, mean, hi = d.region_ops_quantiles
+        assert (lo, hi) == (200, 1000)
+        assert mean == 600
+        assert d.total_ops == 1200
+
+    def test_balanced_schedule_efficiency(self):
+        """A full-width region over T threads: busiest share ~ 1/T."""
+        regions = [Region(items=[WorkItem(0, "newview", 1600, 1)])]
+        d = diagnose_trace(trace_of(regions, [1600]), 8)
+        assert d.mean_busiest_share == pytest.approx(1 / 8, rel=1e-6)
+        assert d.balance_efficiency() == pytest.approx(1.0, rel=1e-6)
+
+    def test_tiny_partition_imbalance(self):
+        """3 patterns over 16 threads: the busiest thread holds 1/3 of the
+        work -> balance efficiency collapses."""
+        regions = [Region(items=[WorkItem(0, "derivative", 3, 1)])]
+        d = diagnose_trace(trace_of(regions, [3]), 16)
+        assert d.mean_busiest_share == pytest.approx(1 / 3)
+        assert d.balance_efficiency() < 0.2
+
+    def test_block_distribution_worse(self):
+        """A short partition inside a long alignment: block concentrates."""
+        regions = [Region(items=[WorkItem(1, "derivative", 100, 1)])]
+        trace = trace_of(regions, [2000, 100, 2000])
+        cyc = diagnose_trace(trace, 8, "cyclic")
+        blk = diagnose_trace(trace, 8, "block")
+        assert blk.mean_busiest_share > cyc.mean_busiest_share
+
+    def test_unfinalized_rejected(self):
+        with pytest.raises(ValueError):
+            diagnose_trace(Trace(), 4)
+
+    def test_summary_renders(self):
+        regions = [Region(items=[WorkItem(0, "newview", 10, 1)])]
+        text = diagnose_trace(trace_of(regions, [10]), 4).summary()
+        assert "regions=1" in text

@@ -1,0 +1,112 @@
+"""Pattern-distribution policy tests."""
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.parallel import (
+    block_indices,
+    block_partition_counts,
+    cyclic_indices,
+    cyclic_partition_counts,
+    partition_thread_counts,
+)
+
+
+class TestCyclic:
+    def test_counts_balanced(self):
+        counts = cyclic_partition_counts(0, 100, 8)
+        assert counts.sum() == 100
+        assert counts.max() - counts.min() <= 1
+
+    def test_offset_rotation(self):
+        """Offsets rotate which threads get the extra pattern but keep
+        balance."""
+        counts = cyclic_partition_counts(3, 10, 4)
+        assert counts.sum() == 10
+        assert counts.max() - counts.min() <= 1
+
+    def test_fewer_patterns_than_threads(self):
+        """The paper's SGI Altix worst case: some threads own nothing."""
+        counts = cyclic_partition_counts(0, 3, 16)
+        assert counts.sum() == 3
+        assert (counts == 0).sum() == 13
+
+    def test_indices_match_counts(self):
+        for offset in (0, 5, 11):
+            for t in range(4):
+                idx = cyclic_indices(offset, 50, 4, t)
+                counts = cyclic_partition_counts(offset, 50, 4)
+                assert len(idx) == counts[t]
+
+    def test_indices_partition_the_range(self):
+        all_idx = np.concatenate(
+            [cyclic_indices(7, 33, 5, t) for t in range(5)]
+        )
+        assert sorted(all_idx.tolist()) == list(range(33))
+
+    def test_global_cyclic_semantics(self):
+        """Pattern at global index g goes to thread g % T."""
+        offset, length, T = 13, 29, 4
+        for t in range(T):
+            for local in cyclic_indices(offset, length, T, t):
+                assert (offset + local) % T == t
+
+
+class TestBlock:
+    def test_counts_cover_total(self):
+        # partitions [0,40) [40,100) over total 100, 8 threads
+        c1 = block_partition_counts(0, 40, 100, 8)
+        c2 = block_partition_counts(40, 60, 100, 8)
+        assert (c1 + c2).sum() == 100
+        np.testing.assert_array_equal(c1 + c2, np.full(8, 13)[:8] * 0 + (c1 + c2))
+
+    def test_short_partition_concentrated(self):
+        """Block policy can put an entire short partition on ONE thread —
+        the pathology cyclic distribution avoids."""
+        counts = block_partition_counts(0, 10, 1000, 8)
+        assert (counts > 0).sum() == 1
+
+    def test_indices_match_counts(self):
+        for t in range(6):
+            idx = block_indices(30, 50, 200, 6, t)
+            counts = block_partition_counts(30, 50, 200, 6)
+            assert len(idx) == counts[t]
+
+    def test_indices_partition_the_range(self):
+        all_idx = np.concatenate([block_indices(10, 45, 120, 7, t) for t in range(7)])
+        assert sorted(all_idx.tolist()) == list(range(45))
+
+
+class TestDispatch:
+    def test_policy_names(self):
+        a = partition_thread_counts("cyclic", 0, 10, 100, 4)
+        b = partition_thread_counts("block", 0, 10, 100, 4)
+        assert a.sum() == b.sum() == 10
+        with pytest.raises(ValueError, match="unknown distribution"):
+            partition_thread_counts("random", 0, 10, 100, 4)
+
+    def test_thread_validation(self):
+        with pytest.raises(ValueError):
+            cyclic_partition_counts(0, 10, 0)
+        with pytest.raises(ValueError):
+            cyclic_indices(0, 10, 4, 9)
+
+
+class TestProperties:
+    @given(
+        st.integers(0, 500), st.integers(0, 300), st.integers(1, 32)
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_cyclic_exact_cover(self, offset, length, threads):
+        counts = cyclic_partition_counts(offset, length, threads)
+        assert counts.sum() == length
+        assert counts.max() - counts.min() <= 1 if length else True
+
+    @given(st.integers(1, 300), st.integers(1, 32), st.data())
+    @settings(max_examples=80, deadline=None)
+    def test_block_exact_cover(self, total, threads, data):
+        offset = data.draw(st.integers(0, total - 1))
+        length = data.draw(st.integers(1, total - offset))
+        counts = block_partition_counts(offset, length, total, threads)
+        assert counts.sum() == length

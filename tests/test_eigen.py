@@ -1,0 +1,111 @@
+"""Eigendecomposition tests, cross-checked against scipy.linalg.expm."""
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy.linalg import expm
+
+from repro.plk import EigenSystem, SubstitutionModel
+
+
+@pytest.fixture(scope="module")
+def gtr():
+    return SubstitutionModel.random_gtr(17)
+
+
+@pytest.fixture(scope="module")
+def eig(gtr):
+    return EigenSystem.from_model(gtr)
+
+
+class TestDecomposition:
+    def test_reconstructs_q(self, gtr, eig):
+        q = gtr.q_matrix()
+        rebuilt = eig.u @ np.diag(eig.eigenvalues) @ eig.v
+        np.testing.assert_allclose(rebuilt, q, atol=1e-12)
+
+    def test_u_v_inverse(self, eig):
+        np.testing.assert_allclose(eig.u @ eig.v, np.eye(4), atol=1e-12)
+
+    def test_eigenvalues_nonpositive_with_one_zero(self, eig):
+        lam = np.sort(eig.eigenvalues)
+        assert lam[-1] == pytest.approx(0.0, abs=1e-12)
+        assert (lam[:-1] < 0).all()
+
+    def test_aa_model_decomposes(self):
+        m = SubstitutionModel.synthetic_aa(2)
+        e = EigenSystem.from_model(m)
+        np.testing.assert_allclose(
+            e.u @ np.diag(e.eigenvalues) @ e.v, m.q_matrix(), atol=1e-10
+        )
+
+
+class TestTransitionMatrices:
+    def test_matches_expm(self, gtr, eig):
+        q = gtr.q_matrix()
+        for t in (0.01, 0.1, 0.5, 2.0, 10.0):
+            np.testing.assert_allclose(
+                eig.transition_matrix(t), expm(q * t), atol=1e-10
+            )
+
+    def test_identity_at_zero(self, eig):
+        np.testing.assert_allclose(eig.transition_matrix(0.0), np.eye(4), atol=1e-12)
+
+    def test_rows_sum_to_one(self, eig):
+        p = eig.transition_matrix(0.37)
+        np.testing.assert_allclose(p.sum(axis=1), 1.0, atol=1e-12)
+
+    def test_converges_to_stationary(self, gtr, eig):
+        p = eig.transition_matrix(500.0)
+        for row in p:
+            np.testing.assert_allclose(row, gtr.frequencies, atol=1e-8)
+
+    def test_chapman_kolmogorov(self, eig):
+        """P(s) P(t) == P(s + t)."""
+        np.testing.assert_allclose(
+            eig.transition_matrix(0.2) @ eig.transition_matrix(0.3),
+            eig.transition_matrix(0.5),
+            atol=1e-12,
+        )
+
+    def test_categories_stack(self, eig):
+        rates = np.array([0.2, 0.7, 1.3, 1.8])
+        ps = eig.transition_matrices(0.4, rates)
+        assert ps.shape == (4, 4, 4)
+        for k, r in enumerate(rates):
+            np.testing.assert_allclose(ps[k], eig.transition_matrix(0.4, r), atol=1e-12)
+
+
+class TestDerivatives:
+    def test_against_finite_differences(self, eig):
+        rates = np.array([0.5, 1.0, 1.5])
+        t, h = 0.3, 1e-6
+        p, dp, d2p = eig.transition_derivatives(t, rates)
+        p_plus = eig.transition_matrices(t + h, rates)
+        p_minus = eig.transition_matrices(t - h, rates)
+        np.testing.assert_allclose(dp, (p_plus - p_minus) / (2 * h), atol=1e-6)
+        np.testing.assert_allclose(d2p, (p_plus - 2 * p + p_minus) / h**2, atol=1e-3)
+
+    def test_p_component_matches(self, eig):
+        rates = np.ones(2)
+        p, _, _ = eig.transition_derivatives(0.25, rates)
+        np.testing.assert_allclose(p[0], eig.transition_matrix(0.25), atol=1e-12)
+
+
+class TestPropertyRandomModels:
+    @given(st.integers(0, 10_000), st.floats(0.01, 5.0))
+    @settings(max_examples=40, deadline=None)
+    def test_probabilities_valid(self, seed, t):
+        m = SubstitutionModel.random_gtr(seed)
+        p = EigenSystem.from_model(m).transition_matrix(t)
+        assert (p > -1e-12).all()
+        np.testing.assert_allclose(p.sum(axis=1), 1.0, atol=1e-10)
+
+    @given(st.integers(0, 10_000), st.floats(0.01, 5.0))
+    @settings(max_examples=20, deadline=None)
+    def test_reversibility_of_p(self, seed, t):
+        """pi_i P_ij(t) == pi_j P_ji(t) for reversible chains."""
+        m = SubstitutionModel.random_gtr(seed)
+        p = EigenSystem.from_model(m).transition_matrix(t)
+        flux = m.frequencies[:, None] * p
+        np.testing.assert_allclose(flux, flux.T, atol=1e-10)

@@ -1,0 +1,125 @@
+"""Base-frequency estimation tests (empirical and ML)."""
+import numpy as np
+import pytest
+
+from repro.core import PartitionedEngine, optimize_frequencies
+from repro.plk import (
+    Alignment,
+    PartitionedAlignment,
+    SubstitutionModel,
+    empirical_frequencies,
+    frequency_ratios,
+    ratios_to_frequencies,
+    uniform_scheme,
+)
+from repro.seqgen import random_topology_with_lengths, simulate_alignment
+
+
+class TestEmpirical:
+    def test_recovers_generating_frequencies(self):
+        rng = np.random.default_rng(1)
+        tree, lengths = random_topology_with_lengths(8, rng)
+        model = SubstitutionModel.gtr(
+            np.ones(6), np.array([0.4, 0.3, 0.2, 0.1])
+        )
+        aln = simulate_alignment(tree, lengths, model, 1.0, 5_000, rng)
+        data = PartitionedAlignment(aln, uniform_scheme(5_000, 5_000))
+        est = empirical_frequencies(data.data[0])
+        np.testing.assert_allclose(est, model.frequencies, atol=0.02)
+
+    def test_sums_to_one(self, small_partitioned):
+        for block in small_partitioned.data:
+            est = empirical_frequencies(block)
+            assert est.sum() == pytest.approx(1.0)
+            assert (est > 0).all()
+
+    def test_gaps_do_not_dominate(self):
+        """A mostly-gap alignment still yields a valid estimate."""
+        aln = Alignment.from_sequences({"x": "AAAA----", "y": "--AA--CC"})
+        data = PartitionedAlignment(aln, uniform_scheme(8, 8))
+        est = empirical_frequencies(data.data[0])
+        assert est.argmax() == 0  # A dominates the observed cells
+
+    def test_weights_respected(self):
+        """Duplicate columns count with their multiplicity."""
+        aln1 = Alignment.from_sequences({"x": "AC"})
+        aln2 = Alignment.from_sequences({"x": "AAAC"})
+        e1 = empirical_frequencies(
+            PartitionedAlignment(aln1, uniform_scheme(2, 2)).data[0]
+        )
+        e2 = empirical_frequencies(
+            PartitionedAlignment(aln2, uniform_scheme(4, 4)).data[0]
+        )
+        assert e2[0] > e1[0]
+
+
+class TestRatioParameterization:
+    def test_roundtrip(self):
+        f = np.array([0.4, 0.3, 0.2, 0.1])
+        np.testing.assert_allclose(
+            ratios_to_frequencies(frequency_ratios(f)), f, atol=1e-12
+        )
+
+    def test_uniform(self):
+        ratios = frequency_ratios(np.full(4, 0.25))
+        np.testing.assert_allclose(ratios, 1.0)
+
+    def test_aa_dimensions(self):
+        f = np.random.default_rng(0).dirichlet(np.full(20, 5.0))
+        assert frequency_ratios(f).shape == (19,)
+        np.testing.assert_allclose(
+            ratios_to_frequencies(frequency_ratios(f)), f, atol=1e-10
+        )
+
+
+class TestMLOptimization:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        rng = np.random.default_rng(2)
+        tree, lengths = random_topology_with_lengths(7, rng)
+        model = SubstitutionModel.gtr(np.ones(6), np.array([0.45, 0.25, 0.2, 0.1]))
+        aln = simulate_alignment(tree, lengths, model, 1.0, 1_500, rng)
+        data = PartitionedAlignment(aln, uniform_scheme(1_500, 750))
+        return data, tree, lengths
+
+    def test_improves_likelihood(self, setup):
+        data, tree, lengths = setup
+        engine = PartitionedEngine(data, tree.copy(), initial_lengths=lengths)
+        before = engine.loglikelihood()
+        optimize_frequencies(engine, "new")
+        assert engine.loglikelihood() > before
+
+    def test_strategies_agree(self, setup):
+        data, tree, lengths = setup
+        results = {}
+        for strategy in ("old", "new"):
+            engine = PartitionedEngine(data, tree.copy(), initial_lengths=lengths)
+            optimize_frequencies(engine, strategy)
+            results[strategy] = [p.model.frequencies for p in engine.parts]
+        for old_f, new_f in zip(results["old"], results["new"]):
+            np.testing.assert_allclose(old_f, new_f, atol=1e-3)
+
+    def test_moves_toward_truth(self, setup):
+        data, tree, lengths = setup
+        engine = PartitionedEngine(data, tree.copy(), initial_lengths=lengths)
+        optimize_frequencies(engine, "new")
+        est = engine.parts[0].model.frequencies
+        # A (0.45) must come out the most frequent; T (0.1) the least
+        assert est.argmax() == 0
+        assert est.argmin() == 3
+
+    def test_aa_partitions_skipped_by_default(self):
+        rng = np.random.default_rng(3)
+        tree, lengths = random_topology_with_lengths(6, rng)
+        aln = simulate_alignment(
+            tree, lengths, SubstitutionModel.poisson_aa(), 1.0, 120, rng
+        )
+        from repro.plk import parse_partition_file
+
+        scheme = parse_partition_file("AA, p = 1-120")
+        data = PartitionedAlignment(aln, scheme)
+        engine = PartitionedEngine(data, tree.copy(), initial_lengths=lengths)
+        before = engine.parts[0].model.frequencies.copy()
+        counts = optimize_frequencies(engine, "new", dna_only=True)
+        np.testing.assert_array_equal(engine.parts[0].model.frequencies, before)
+        assert counts[0] == 0

@@ -1,0 +1,144 @@
+"""Gappy-alignment / induced-subtree tests.
+
+The headline invariant: the induced-subtree likelihood equals the
+full-tree likelihood exactly (absent taxa carry all-ones conditionals;
+degree-2 collapse adds branch lengths) — the mathematical basis of the
+paper's argument for per-partition branch lengths.
+"""
+import numpy as np
+import pytest
+
+from repro.core import PartitionedEngine
+from repro.plk import (
+    GappyEngine,
+    SubstitutionModel,
+    induced_subtree,
+    taxon_coverage,
+    traversal_cost_ratio,
+)
+from repro.seqgen import coverage_fraction, gappy_dataset, random_topology_with_lengths
+
+
+@pytest.fixture(scope="module")
+def gappy():
+    ds = gappy_dataset(16, 4, 300, coverage=0.5, seed=5)
+    return ds, ds.partitioned()
+
+
+class TestCoverage:
+    def test_coverage_matrix(self, gappy):
+        ds, pa = gappy
+        cov = taxon_coverage(pa)
+        assert cov.shape == (4, 16)
+        assert cov.sum(axis=1).min() >= 4
+        # every taxon covered somewhere
+        assert cov.any(axis=0).all()
+
+    def test_coverage_fraction(self, gappy):
+        ds, pa = gappy
+        assert 0.3 <= coverage_fraction(pa) <= 0.7
+
+    def test_full_data_coverage_is_one(self, small_partitioned):
+        assert taxon_coverage(small_partitioned).all()
+
+    def test_generator_validation(self):
+        with pytest.raises(ValueError, match="coverage"):
+            gappy_dataset(10, 2, 100, coverage=1.5)
+        with pytest.raises(ValueError, match="present"):
+            gappy_dataset(10, 2, 100, min_present=2)
+
+
+class TestInducedSubtree:
+    def test_keep_all_is_identity(self):
+        tree, _ = random_topology_with_lengths(9, np.random.default_rng(1))
+        sub = induced_subtree(tree, set(range(9)))
+        assert sub.tree.robinson_foulds(tree) == 0
+        assert all(len(span) == 1 for span in sub.edge_spans)
+
+    def test_structure(self):
+        tree, lengths = random_topology_with_lengths(10, np.random.default_rng(2))
+        keep = {0, 2, 5, 7}
+        sub = induced_subtree(tree, keep)
+        sub.tree.validate()
+        assert sub.tree.n_taxa == 4
+        assert set(sub.tree.taxa) == {tree.taxa[i] for i in keep}
+
+    def test_spans_partition_path_lengths(self):
+        """Induced path lengths between kept leaves equal full-tree path
+        lengths."""
+        tree, lengths = random_topology_with_lengths(12, np.random.default_rng(3))
+        keep = {1, 4, 6, 9, 11}
+        sub = induced_subtree(tree, keep)
+        ind_lengths = sub.project_lengths(lengths)
+
+        def path_length(t, lens, a, b):
+            # BFS path
+            prev = {a: None}
+            stack = [a]
+            while stack:
+                cur = stack.pop()
+                if cur == b:
+                    break
+                for nb in t.neighbors(cur):
+                    if nb not in prev:
+                        prev[nb] = cur
+                        stack.append(nb)
+            total, cur = 0.0, b
+            while prev[cur] is not None:
+                total += lens[t.edge_between(cur, prev[cur])]
+                cur = prev[cur]
+            return total
+
+        for a in (1, 4):
+            for b in (9, 11):
+                full = path_length(tree, lengths, a, b)
+                ia = sub.leaf_map[a]
+                ib = sub.leaf_map[b]
+                ind = path_length(sub.tree, ind_lengths, ia, ib)
+                assert ind == pytest.approx(full, abs=1e-12)
+
+    def test_too_few_taxa_rejected(self):
+        tree, _ = random_topology_with_lengths(6, np.random.default_rng(4))
+        with pytest.raises(ValueError, match="at least 3"):
+            induced_subtree(tree, {0, 1})
+
+    def test_bad_leaf_ids_rejected(self):
+        tree, _ = random_topology_with_lengths(6, np.random.default_rng(4))
+        with pytest.raises(ValueError, match="leaf ids"):
+            induced_subtree(tree, {0, 1, 99})
+
+
+class TestGappyEngine:
+    def test_exactly_matches_full_engine(self, gappy):
+        ds, pa = gappy
+        models = [SubstitutionModel.random_gtr(p) for p in range(4)]
+        alphas = [0.5, 1.0, 1.5, 2.0]
+        full = PartitionedEngine(
+            pa, ds.tree.copy(), models=models, alphas=alphas,
+            initial_lengths=ds.true_lengths,
+        )
+        gap = GappyEngine(
+            pa, ds.tree, models=models, alphas=alphas,
+            initial_lengths=ds.true_lengths,
+        )
+        assert gap.loglikelihood() == pytest.approx(
+            full.loglikelihood(), abs=1e-8
+        )
+
+    def test_traversal_savings(self, gappy):
+        ds, pa = gappy
+        ratio = traversal_cost_ratio(pa, ds.tree)
+        assert ratio > 1.5  # 50% coverage -> roughly 2x fewer inner nodes
+        gap = GappyEngine(pa, ds.tree)
+        assert (gap.inner_node_counts() < ds.tree.n_taxa - 2).all()
+
+    def test_savings_grow_with_gappiness(self):
+        ratios = []
+        for coverage in (0.8, 0.4):
+            ds = gappy_dataset(20, 3, 200, coverage=coverage, seed=8)
+            ratios.append(traversal_cost_ratio(ds.partitioned(), ds.tree))
+        assert ratios[1] > ratios[0]
+
+    def test_full_coverage_ratio_is_one(self, small_partitioned, small_tree):
+        tree, _ = small_tree
+        assert traversal_cost_ratio(small_partitioned, tree) == pytest.approx(1.0)

@@ -1,0 +1,133 @@
+"""End-to-end integration tests spanning the whole stack."""
+import numpy as np
+import pytest
+
+from repro.core import PartitionedEngine, TraceRecorder
+from repro.core.analysis import run_tree_search
+from repro.plk import (
+    Alignment,
+    PartitionedAlignment,
+    SubstitutionModel,
+    parse_newick,
+    parse_partition_file,
+    write_newick,
+)
+from repro.search import stepwise_addition_tree, tree_search
+from repro.seqgen import (
+    bootstrap_replicate,
+    random_topology_with_lengths,
+    simulate_alignment,
+    split_support,
+)
+from repro.simmachine import NEHALEM, X4600, simulate_trace
+
+
+@pytest.fixture(scope="module")
+def pipeline_data():
+    """A mixed DNA+AA 2-gene dataset with known topology."""
+    rng = np.random.default_rng(77)
+    tree, lengths = random_topology_with_lengths(9, rng, mean_length=0.08)
+    dna = simulate_alignment(
+        tree, lengths, SubstitutionModel.random_gtr(1), 0.7, 700, rng
+    )
+    aa = simulate_alignment(
+        tree, lengths, SubstitutionModel.synthetic_aa(2), 1.2, 250, rng
+    )
+    matrix = np.concatenate([dna.matrix, aa.matrix], axis=1)
+    alignment = Alignment(tree.taxa, matrix)
+    scheme = parse_partition_file("DNA, nuc = 1-700\nAA, prot = 701-950")
+    return tree, lengths, PartitionedAlignment(alignment, scheme)
+
+
+class TestFullPipeline:
+    def test_inference_recovers_topology(self, pipeline_data):
+        """sequence data -> parsimony start -> ML search -> true topology."""
+        tree, lengths, data = pipeline_data
+        start = stepwise_addition_tree(data.alignment, np.random.default_rng(1))
+        engine = PartitionedEngine(data, start, branch_mode="per_partition")
+        result = tree_search(engine, "new", radius=3, max_rounds=3)
+        assert start.robinson_foulds(tree) == 0
+        assert np.isfinite(result.loglikelihood)
+
+    def test_mixed_datatype_engine(self, pipeline_data):
+        tree, lengths, data = pipeline_data
+        engine = PartitionedEngine(data, tree.copy(), initial_lengths=lengths)
+        lnl = engine.loglikelihood()
+        assert np.isfinite(lnl)
+        assert engine.parts[0].data.states == 4
+        assert engine.parts[1].data.states == 20
+
+    def test_newick_roundtrip_preserves_likelihood(self, pipeline_data):
+        tree, lengths, data = pipeline_data
+        engine = PartitionedEngine(data, tree.copy(), initial_lengths=lengths)
+        ref = engine.loglikelihood()
+        text = write_newick(tree, lengths, precision=12)
+        tree2, lengths2 = parse_newick(text)
+        engine2 = PartitionedEngine(data2_reorder(data, tree2), tree2, initial_lengths=lengths2)
+        assert engine2.loglikelihood() == pytest.approx(ref, abs=1e-6)
+
+
+def data2_reorder(data, tree2):
+    """Rebuild the partitioned alignment with rows matching tree2's taxon
+    order (Newick round-trips can permute leaf numbering)."""
+    aln = data.alignment
+    order = [aln.taxa.index(name) for name in tree2.taxa]
+    reordered = Alignment(
+        tuple(tree2.taxa), aln.matrix[order], aln.datatype
+    )
+    return PartitionedAlignment(reordered, data.scheme)
+
+
+class TestCaptureReplayLoop:
+    def test_search_capture_and_replay(self, pipeline_data):
+        """The benchmark loop in miniature: capture old/new, replay, and
+        verify the improvement direction on a 16-core platform."""
+        tree, lengths, data = pipeline_data
+        traces = {}
+        for strategy in ("old", "new"):
+            run = run_tree_search(
+                data, tree, strategy=strategy, initial_lengths=lengths,
+                radius=1, max_candidates=8,
+            )
+            traces[strategy] = run.trace
+        old16 = simulate_trace(traces["old"], X4600, 16).total_seconds
+        new16 = simulate_trace(traces["new"], X4600, 16).total_seconds
+        assert new16 < old16
+        seq = simulate_trace(traces["new"], NEHALEM, 1).total_seconds
+        assert seq > simulate_trace(traces["new"], NEHALEM, 8).total_seconds
+
+    def test_trace_pickles(self, pipeline_data, tmp_path):
+        import pickle
+
+        tree, lengths, data = pipeline_data
+        run = run_tree_search(
+            data, tree, strategy="new", initial_lengths=lengths,
+            radius=1, max_candidates=4,
+        )
+        path = tmp_path / "trace.pkl"
+        with path.open("wb") as fh:
+            pickle.dump(run.trace, fh)
+        with path.open("rb") as fh:
+            back = pickle.load(fh)
+        assert back.op_totals() == run.trace.op_totals()
+        r1 = simulate_trace(run.trace, NEHALEM, 4).total_seconds
+        r2 = simulate_trace(back, NEHALEM, 4).total_seconds
+        assert r1 == pytest.approx(r2)
+
+
+class TestBootstrapPipeline:
+    def test_support_values_on_clean_data(self, pipeline_data):
+        """Strong-signal data: bootstrap supports are high for true
+        splits."""
+        tree, lengths, data = pipeline_data
+        rng = np.random.default_rng(3)
+        replicate_trees = []
+        for _ in range(4):
+            rep = bootstrap_replicate(data, rng)
+            start = tree.copy()  # search from the truth; cheap refinement
+            engine = PartitionedEngine(rep, start, initial_lengths=lengths)
+            tree_search(engine, "new", radius=1, max_rounds=1, max_candidates=6)
+            replicate_trees.append(start)
+        support = split_support(tree, replicate_trees)
+        assert len(support) == tree.n_taxa - 3
+        assert np.mean(list(support.values())) > 0.7

@@ -1,0 +1,168 @@
+"""Kernel-primitive tests: newview/evaluate/sumtable/derivatives.
+
+The derivative machinery is validated against finite differences; the
+sumtable log-likelihood against the direct evaluate() path.
+"""
+import numpy as np
+import pytest
+
+from repro.plk import EigenSystem, SubstitutionModel, discrete_gamma_rates, kernel
+
+
+@pytest.fixture(scope="module")
+def setup():
+    model = SubstitutionModel.random_gtr(23)
+    eig = EigenSystem.from_model(model)
+    rates = discrete_gamma_rates(0.7, 4)
+    rng = np.random.default_rng(5)
+    m = 37
+    clv_a = rng.random((4, m, 4)) + 0.01
+    clv_b = rng.random((4, m, 4)) + 0.01
+    weights = rng.integers(1, 5, size=m).astype(np.int64)
+    return model, eig, rates, clv_a, clv_b, weights
+
+
+class TestPropagate:
+    def test_full_clv_shape(self, setup):
+        model, eig, rates, clv_a, _, _ = setup
+        p = eig.transition_matrices(0.1, rates)
+        out = kernel.propagate(p, clv_a)
+        assert out.shape == clv_a.shape
+
+    def test_tip_broadcast(self, setup):
+        model, eig, rates, *_ = setup
+        p = eig.transition_matrices(0.1, rates)
+        tip = np.eye(4)[[0, 1, 2, 3, 0]]
+        out = kernel.propagate(p, tip)
+        assert out.shape == (4, 5, 4)
+        # tip one-hot state s: out[k, i] == P[k, :, s]
+        np.testing.assert_allclose(out[2, 1], p[2, :, 1], atol=1e-14)
+
+    def test_identity_propagation(self, setup):
+        """P = I leaves the CLV unchanged."""
+        _, _, _, clv_a, _, _ = setup
+        eye = np.broadcast_to(np.eye(4), (4, 4, 4)).copy()
+        np.testing.assert_allclose(kernel.propagate(eye, clv_a), clv_a)
+
+
+class TestNewview:
+    def test_is_product_of_propagations(self, setup):
+        model, eig, rates, clv_a, clv_b, _ = setup
+        p1 = eig.transition_matrices(0.1, rates)
+        p2 = eig.transition_matrices(0.3, rates)
+        out, scale = kernel.newview(p1, clv_a, None, p2, clv_b, None)
+        expected = kernel.propagate(p1, clv_a) * kernel.propagate(p2, clv_b)
+        np.testing.assert_allclose(out, expected, atol=1e-14)
+        assert (scale == 0).all()
+
+    def test_scaling_triggered_and_tracked(self, setup):
+        model, eig, rates, clv_a, clv_b, _ = setup
+        p1 = eig.transition_matrices(0.1, rates)
+        p2 = eig.transition_matrices(0.1, rates)
+        tiny_a = clv_a * kernel.SCALE_THRESHOLD
+        out, scale = kernel.newview(p1, tiny_a, None, p2, clv_b, None)
+        assert (scale >= 1).all()
+        # scaled values are back in healthy range
+        assert out.max() > kernel.SCALE_THRESHOLD
+
+    def test_scale_counters_accumulate(self, setup):
+        model, eig, rates, clv_a, clv_b, _ = setup
+        p = eig.transition_matrices(0.2, rates)
+        m = clv_a.shape[1]
+        s1 = np.full(m, 2, dtype=np.int32)
+        s2 = np.full(m, 3, dtype=np.int32)
+        _, scale = kernel.newview(p, clv_a, s1, p, clv_b, s2)
+        assert (scale >= 5).all()
+
+    def test_zero_width_slice(self, setup):
+        """A worker owning zero patterns must not crash (the paper's idle
+        thread case)."""
+        model, eig, rates, *_ = setup
+        p = eig.transition_matrices(0.1, rates)
+        empty = np.zeros((4, 0, 4))
+        out, scale = kernel.newview(p, empty, None, p, empty, None)
+        assert out.shape == (4, 0, 4)
+        assert scale.shape == (0,)
+
+
+class TestEvaluate:
+    def test_zero_weights_zero_loglik(self, setup):
+        model, eig, rates, clv_a, clv_b, weights = setup
+        p = eig.transition_matrices(0.2, rates)
+        lnl = kernel.evaluate(p, clv_a, None, clv_b, None, model.frequencies, weights * 0)
+        assert lnl == 0.0
+
+    def test_weights_scale_linearly(self, setup):
+        model, eig, rates, clv_a, clv_b, weights = setup
+        p = eig.transition_matrices(0.2, rates)
+        one = kernel.evaluate(p, clv_a, None, clv_b, None, model.frequencies, weights)
+        two = kernel.evaluate(p, clv_a, None, clv_b, None, model.frequencies, weights * 2)
+        assert two == pytest.approx(2 * one)
+
+    def test_scalers_shift_loglik(self, setup):
+        model, eig, rates, clv_a, clv_b, weights = setup
+        p = eig.transition_matrices(0.2, rates)
+        m = clv_a.shape[1]
+        base = kernel.evaluate(p, clv_a, None, clv_b, None, model.frequencies, weights)
+        ones = np.ones(m, dtype=np.int32)
+        shifted = kernel.evaluate(p, clv_a, ones, clv_b, None, model.frequencies, weights)
+        expected = base - weights.sum() * kernel.LOG_SCALE_FACTOR
+        assert shifted == pytest.approx(expected)
+
+    def test_scaled_clv_equals_unscaled(self, setup):
+        """Multiplying a CLV by 2^256 with counter 1 gives the same lnl."""
+        model, eig, rates, clv_a, clv_b, weights = setup
+        p = eig.transition_matrices(0.2, rates)
+        m = clv_a.shape[1]
+        base = kernel.evaluate(p, clv_a, None, clv_b, None, model.frequencies, weights)
+        scaled = kernel.evaluate(
+            p,
+            clv_a * kernel.SCALE_FACTOR,
+            np.ones(m, dtype=np.int32),
+            clv_b,
+            None,
+            model.frequencies,
+            weights,
+        )
+        assert scaled == pytest.approx(base)
+
+
+class TestSumtable:
+    def test_loglik_matches_evaluate(self, setup):
+        """sumtable path == direct evaluate path, for several lengths."""
+        model, eig, rates, clv_a, clv_b, weights = setup
+        table = kernel.make_sumtable(clv_a, clv_b, eig.u, eig.v, model.frequencies)
+        for z in (0.01, 0.1, 0.7, 3.0):
+            p = eig.transition_matrices(z, rates)
+            direct = kernel.evaluate(p, clv_a, None, clv_b, None, model.frequencies, weights)
+            via_table = kernel.sumtable_loglikelihood(
+                table, eig.eigenvalues, rates, z, weights, None
+            )
+            assert via_table == pytest.approx(direct, abs=1e-9)
+
+    def test_derivatives_match_finite_differences(self, setup):
+        model, eig, rates, clv_a, clv_b, weights = setup
+        table = kernel.make_sumtable(clv_a, clv_b, eig.u, eig.v, model.frequencies)
+        z = 0.4
+
+        def lnl(zz):
+            return kernel.sumtable_loglikelihood(
+                table, eig.eigenvalues, rates, zz, weights, None
+            )
+
+        d1, d2 = kernel.branch_derivatives(table, eig.eigenvalues, rates, z, weights)
+        h1 = 1e-6
+        fd1 = (lnl(z + h1) - lnl(z - h1)) / (2 * h1)
+        # second differences need a larger step to avoid catastrophic
+        # cancellation in float64
+        h2 = 1e-4
+        fd2 = (lnl(z + h2) - 2 * lnl(z) + lnl(z - h2)) / h2**2
+        assert d1 == pytest.approx(fd1, rel=1e-5)
+        assert d2 == pytest.approx(fd2, rel=1e-4)
+
+    def test_tip_inputs_accepted(self, setup):
+        model, eig, rates, _, clv_b, weights = setup
+        m = clv_b.shape[1]
+        tips = np.eye(4)[np.random.default_rng(0).integers(0, 4, m)]
+        table = kernel.make_sumtable(tips, clv_b, eig.u, eig.v, model.frequencies)
+        assert table.shape == (4, m, 4)

@@ -1,0 +1,179 @@
+"""Bayesian-layer tests: proposals, priors, chain semantics, and the
+scheduling claim of paper Section IV."""
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.core import TraceRecorder
+from repro.mcmc import (
+    BayesianChain,
+    MetropolisCoupledSampler,
+    MultiplierProposal,
+    PriorSet,
+    log_exponential,
+    log_lognormal,
+    reflect,
+)
+from repro.plk import PartitionedAlignment, SubstitutionModel, uniform_scheme
+from repro.seqgen import random_topology_with_lengths, simulate_alignment
+
+
+@pytest.fixture(scope="module")
+def bayes_data():
+    rng = np.random.default_rng(55)
+    tree, lengths = random_topology_with_lengths(8, rng)
+    blocks = []
+    for seed, alpha in ((1, 0.4), (2, 1.6)):
+        aln = simulate_alignment(
+            tree, lengths, SubstitutionModel.random_gtr(seed), alpha, 800, rng
+        )
+        blocks.append(aln.matrix)
+    from repro.plk import Alignment
+
+    alignment = Alignment(tree.taxa, np.concatenate(blocks, axis=1))
+    return PartitionedAlignment(alignment, uniform_scheme(1600, 800)), tree, lengths
+
+
+class TestProposals:
+    def test_multiplier_positive_and_bounded(self):
+        prop = MultiplierProposal(tuning=1.0, lower=0.1, upper=10.0)
+        rng = np.random.default_rng(0)
+        x = np.full(1000, 1.0)
+        y, h = prop.propose(x, rng)
+        assert (y >= 0.1).all() and (y <= 10.0).all()
+        np.testing.assert_allclose(h, np.log(y / x))
+
+    def test_multiplier_is_symmetric_in_log_space(self):
+        """E[log factor] == 0: the proposal does not drift."""
+        prop = MultiplierProposal(tuning=1.0, lower=1e-9, upper=1e9)
+        rng = np.random.default_rng(1)
+        x = np.full(200_000, 1.0)
+        y, _ = prop.propose(x, rng)
+        assert abs(np.log(y).mean()) < 5e-3
+
+    def test_reflect(self):
+        out = reflect(np.array([0.05, 0.5, 20.0]), 0.1, 10.0)
+        assert (out >= 0.1).all() and (out <= 10.0).all()
+        assert out[1] == 0.5  # interior untouched
+
+
+class TestPriors:
+    def test_exponential_matches_scipy(self):
+        x = np.array([0.01, 0.5, 2.0])
+        ours = log_exponential(x, mean=0.25)
+        ref = stats.expon(scale=0.25).logpdf(x)
+        np.testing.assert_allclose(ours, ref)
+
+    def test_lognormal_matches_scipy(self):
+        x = np.array([0.1, 1.0, 5.0])
+        ours = log_lognormal(x, 0.0, 1.0)
+        ref = stats.lognorm(s=1.0).logpdf(x)
+        np.testing.assert_allclose(ours, ref)
+
+    def test_negative_support(self):
+        assert log_exponential(np.array([-1.0]), 1.0)[0] == -np.inf
+        assert log_lognormal(np.array([0.0]), 0.0, 1.0)[0] == -np.inf
+
+
+class TestChain:
+    def test_bad_scheduling(self, bayes_data):
+        data, tree, lengths = bayes_data
+        with pytest.raises(ValueError, match="scheduling"):
+            BayesianChain(data, tree.copy(), scheduling="round_robin")
+
+    def test_cached_lnl_stays_consistent(self, bayes_data):
+        """After any number of generations the cached per-partition lnl
+        must equal a fresh evaluation — accept/reject bookkeeping is
+        exact."""
+        data, tree, lengths = bayes_data
+        chain = BayesianChain(
+            data, tree.copy(), seed=3, initial_lengths=lengths
+        )
+        for _ in range(60):
+            chain.step()
+        fresh = chain.engine.partition_loglikelihoods()
+        np.testing.assert_allclose(chain._lnl, fresh, atol=1e-8)
+
+    def test_acceptance_rate_sane(self, bayes_data):
+        data, tree, lengths = bayes_data
+        chain = BayesianChain(data, tree.copy(), seed=4, initial_lengths=lengths)
+        chain.run(150, sample_every=50)
+        assert 0.05 < chain.acceptance_rate() < 0.95
+
+    def test_scheduling_modes_same_region_work_different_counts(self, bayes_data):
+        """The paper's point: same proposals-per-partition budget, but
+        per-partition scheduling produces ~P times more regions."""
+        data, tree, lengths = bayes_data
+        traces = {}
+        for mode in ("per_partition", "simultaneous"):
+            rec = TraceRecorder()
+            chain = BayesianChain(
+                data, tree.copy(), seed=5, scheduling=mode,
+                recorder=rec, initial_lengths=lengths,
+            )
+            chain.run(100, sample_every=100)
+            traces[mode] = rec.finalize(
+                chain.engine.pattern_counts(), chain.engine.states()
+            )
+        ratio = traces["per_partition"].n_regions / traces["simultaneous"].n_regions
+        assert ratio > 1.5  # with P=2 partitions, ideally ~2
+
+    def test_posterior_tracks_likelihood_signal(self, bayes_data):
+        """With data simulated at alpha=(0.4, 1.6), the cold chain's alpha
+        samples for partition 0 should sit below partition 1's."""
+        data, tree, lengths = bayes_data
+        chain = BayesianChain(data, tree.copy(), seed=6, initial_lengths=lengths)
+        samples = chain.run(600, sample_every=10)
+        alphas = samples.alpha_matrix()[20:]  # drop burn-in
+        assert np.median(alphas[:, 0]) < np.median(alphas[:, 1])
+
+    def test_heated_chain_accepts_more(self, bayes_data):
+        data, tree, lengths = bayes_data
+        cold = BayesianChain(
+            data, tree.copy(), seed=7, temperature=1.0, initial_lengths=lengths
+        )
+        hot = BayesianChain(
+            data, tree.copy(), seed=7, temperature=0.2, initial_lengths=lengths
+        )
+        cold.run(150, sample_every=150)
+        hot.run(150, sample_every=150)
+        assert hot.acceptance_rate() >= cold.acceptance_rate()
+
+    def test_log_prior_finite(self, bayes_data):
+        data, tree, lengths = bayes_data
+        chain = BayesianChain(data, tree.copy(), seed=8, initial_lengths=lengths)
+        assert np.isfinite(chain.log_prior())
+
+
+class TestMC3:
+    def test_swaps_happen(self, bayes_data):
+        data, tree, lengths = bayes_data
+        mc3 = MetropolisCoupledSampler(
+            data, tree, n_chains=3, heat=0.3, seed=9, initial_lengths=lengths
+        )
+        samples = mc3.run(120, sample_every=40)
+        assert mc3.swaps_proposed == 120
+        assert mc3.swaps_accepted > 0
+        assert len(samples.loglikelihood) == 3
+
+    def test_single_chain_degenerates_to_plain_mcmc(self, bayes_data):
+        data, tree, lengths = bayes_data
+        mc3 = MetropolisCoupledSampler(
+            data, tree, n_chains=1, seed=10, initial_lengths=lengths
+        )
+        mc3.run(30, sample_every=30)
+        assert mc3.swaps_proposed == 0
+
+    def test_temperatures_descend(self, bayes_data):
+        data, tree, lengths = bayes_data
+        mc3 = MetropolisCoupledSampler(
+            data, tree, n_chains=4, heat=0.5, seed=11, initial_lengths=lengths
+        )
+        temps = sorted(c.temperature for c in mc3.chains)
+        assert temps[-1] == 1.0
+        assert len(set(temps)) == 4
+
+    def test_chain_count_validated(self, bayes_data):
+        data, tree, lengths = bayes_data
+        with pytest.raises(ValueError):
+            MetropolisCoupledSampler(data, tree, n_chains=0)

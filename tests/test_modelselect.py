@@ -1,0 +1,117 @@
+"""Model-selection tests (parameter counting, information criteria, LRT)."""
+import numpy as np
+import pytest
+
+from repro.core import PartitionedEngine, optimize_model
+from repro.core.modelselect import (
+    ModelScore,
+    free_parameter_count,
+    likelihood_ratio_test,
+    score_engine,
+)
+from repro.plk import Alignment, PartitionedAlignment, SubstitutionModel, uniform_scheme
+from repro.seqgen import random_topology_with_lengths, simulate_alignment
+
+
+@pytest.fixture(scope="module")
+def fitted():
+    """Two genes with genuinely different rates, fitted under all three
+    branch modes."""
+    rng = np.random.default_rng(61)
+    tree, lengths = random_topology_with_lengths(8, rng)
+    blocks = []
+    for mult in (1.0, 2.5):
+        aln = simulate_alignment(
+            tree, lengths * mult, SubstitutionModel.random_gtr(3), 1.0, 800, rng
+        )
+        blocks.append(aln.matrix)
+    alignment = Alignment(tree.taxa, np.concatenate(blocks, axis=1))
+    data = PartitionedAlignment(alignment, uniform_scheme(1_600, 800))
+    out = {}
+    for mode in ("joint", "proportional", "per_partition"):
+        engine = PartitionedEngine(
+            data, tree.copy(), branch_mode=mode, initial_lengths=lengths
+        )
+        lnl = optimize_model(engine, "new", max_rounds=3)
+        out[mode] = (engine, lnl)
+    return out
+
+
+class TestParameterCounting:
+    def test_branch_mode_ordering(self, fitted):
+        counts = {
+            mode: free_parameter_count(engine)
+            for mode, (engine, _) in fitted.items()
+        }
+        assert counts["joint"] < counts["proportional"] < counts["per_partition"]
+
+    def test_exact_counts(self, fitted):
+        engine, _ = fitted["joint"]
+        n_edges = engine.n_edges
+        # per partition: alpha 1 + GTR 5 + freqs 3 = 9; two partitions
+        assert free_parameter_count(engine) == n_edges + 18
+        engine_prop, _ = fitted["proportional"]
+        assert free_parameter_count(engine_prop) == n_edges + 1 + 18
+        engine_pp, _ = fitted["per_partition"]
+        assert free_parameter_count(engine_pp) == 2 * n_edges + 18
+
+    def test_pinv_counts_when_enabled(self, fitted):
+        engine, _ = fitted["joint"]
+        base = free_parameter_count(engine)
+        engine.parts[0].pinv = 0.1
+        assert free_parameter_count(engine) == base + 1
+        engine.parts[0].pinv = 0.0
+
+
+class TestScores:
+    def test_nested_likelihood_ordering(self, fitted):
+        """More parameters can only fit better (optimizers converged)."""
+        lnls = {mode: lnl for mode, (_, lnl) in fitted.items()}
+        assert lnls["proportional"] >= lnls["joint"] - 0.5
+        assert lnls["per_partition"] >= lnls["proportional"] - 0.5
+
+    def test_criteria_formulas(self, fitted):
+        engine, lnl = fitted["joint"]
+        score = score_engine(engine, lnl)
+        assert score.sample_size == 1_600
+        assert score.aic == pytest.approx(2 * score.parameters - 2 * lnl)
+        assert score.bic == pytest.approx(
+            score.parameters * np.log(1_600) - 2 * lnl
+        )
+        assert score.aicc > score.aic
+
+    def test_proportional_selected_on_proportional_data(self, fitted):
+        """Data generated under the proportional model: BIC should prefer
+        proportional over joint (true extra signal) AND over per-partition
+        (penalized for 2n-3 superfluous parameters)."""
+        scores = {
+            mode: score_engine(engine, lnl) for mode, (engine, lnl) in fitted.items()
+        }
+        assert scores["proportional"].bic < scores["joint"].bic
+        assert scores["proportional"].bic < scores["per_partition"].bic
+
+    def test_summary_renders(self, fitted):
+        engine, lnl = fitted["joint"]
+        assert "AIC=" in score_engine(engine, lnl).summary()
+
+
+class TestLRT:
+    def test_significant_for_real_signal(self, fitted):
+        _, joint_lnl = fitted["joint"]
+        _, prop_lnl = fitted["proportional"]
+        stat, p = likelihood_ratio_test(joint_lnl, prop_lnl, df=1)
+        assert stat > 0
+        assert p < 0.001  # the 2.5x rate difference is very real
+
+    def test_null_difference_not_significant(self):
+        stat, p = likelihood_ratio_test(-1000.0, -999.9, df=5)
+        assert p > 0.5
+
+    def test_clamps_negative(self):
+        stat, p = likelihood_ratio_test(-1000.0, -1000.5, df=1)
+        assert stat == 0.0
+        assert p == pytest.approx(1.0)
+
+    def test_df_validated(self):
+        with pytest.raises(ValueError):
+            likelihood_ratio_test(-10, -9, df=0)

@@ -1,0 +1,168 @@
+"""NNI / SPR topology-move tests."""
+import numpy as np
+import pytest
+
+from repro.plk import Tree
+from repro.search import nni_swap, spr_move, spr_targets
+from repro.seqgen import default_taxa
+
+
+def random_tree(n, seed=0):
+    return Tree.random(default_taxa(n), np.random.default_rng(seed))
+
+
+class TestNNI:
+    def test_changes_topology(self):
+        t = random_tree(8, 1)
+        internal = next(
+            eid for eid, u, v in t.edges() if not t.is_leaf(u) and not t.is_leaf(v)
+        )
+        before = t.splits()
+        mv = nni_swap(t, internal, 0)
+        t.validate()
+        assert t.splits() != before
+
+    def test_undo_restores(self):
+        t = random_tree(8, 2)
+        reference = t.copy()
+        internal = next(
+            eid for eid, u, v in t.edges() if not t.is_leaf(u) and not t.is_leaf(v)
+        )
+        for variant in (0, 1):
+            mv = nni_swap(t, internal, variant)
+            mv.undo()
+            assert t.robinson_foulds(reference) == 0
+            t.validate()
+
+    def test_variants_differ(self):
+        t0 = random_tree(8, 3)
+        t1 = t0.copy()
+        internal = next(
+            eid for eid, u, v in t0.edges() if not t0.is_leaf(u) and not t0.is_leaf(v)
+        )
+        nni_swap(t0, internal, 0)
+        nni_swap(t1, internal, 1)
+        assert t0.robinson_foulds(t1) > 0
+
+    def test_leaf_edge_rejected(self):
+        t = random_tree(6, 4)
+        leaf_edge = next(eid for eid, u, v in t.edges() if t.is_leaf(u) or t.is_leaf(v))
+        with pytest.raises(ValueError, match="not internal"):
+            nni_swap(t, leaf_edge)
+
+    def test_bad_variant_rejected(self):
+        t = random_tree(6, 4)
+        with pytest.raises(ValueError):
+            nni_swap(t, 0, variant=2)
+
+    def test_preserves_leaf_set(self):
+        t = random_tree(10, 5)
+        internal = next(
+            eid for eid, u, v in t.edges() if not t.is_leaf(u) and not t.is_leaf(v)
+        )
+        nni_swap(t, internal, 1)
+        t.validate()
+        assert set(t.taxa) == set(default_taxa(10))
+
+
+class TestSPRTargets:
+    def test_radius_limits(self):
+        t = random_tree(20, 6)
+        prune = next(
+            eid for eid, u, v in t.edges() if not t.is_leaf(u) or not t.is_leaf(v)
+        )
+        near = spr_targets(t, prune, radius=1)
+        far = spr_targets(t, prune, radius=10)
+        assert set(near) <= set(far)
+        assert len(far) > len(near)
+
+    def test_excludes_pruned_subtree_and_junction(self):
+        t = random_tree(12, 7)
+        for prune, u, v in t.edges():
+            if t.is_leaf(u) and t.is_leaf(v):
+                continue
+            for target in spr_targets(t, prune, radius=4):
+                mv = spr_move(t, prune, target)  # must not raise
+                mv.undo()
+            break
+
+
+class TestSPRMove:
+    def _internalish_edge(self, t):
+        for eid, u, v in t.edges():
+            if not (t.is_leaf(u) and t.is_leaf(v)):
+                return eid
+        raise AssertionError
+
+    def test_valid_after_move(self):
+        t = random_tree(15, 8)
+        prune = self._internalish_edge(t)
+        targets = spr_targets(t, prune, radius=5)
+        mv = spr_move(t, prune, targets[-1])
+        t.validate()
+        assert set(t.taxa) == set(default_taxa(15))
+
+    def test_undo_restores_topology(self):
+        t = random_tree(15, 9)
+        reference = t.copy()
+        prune = self._internalish_edge(t)
+        for target in spr_targets(t, prune, radius=4):
+            mv = spr_move(t, prune, target)
+            t.validate()
+            mv.undo()
+            t.validate()
+            assert t.robinson_foulds(reference) == 0
+
+    def test_edge_ids_reused(self):
+        """Edge-id set is stable across a move (length arrays stay valid)."""
+        t = random_tree(10, 10)
+        ids_before = {eid for eid, _, _ in t.edges()}
+        prune = self._internalish_edge(t)
+        target = spr_targets(t, prune, radius=3)[0]
+        spr_move(t, prune, target)
+        assert {eid for eid, _, _ in t.edges()} == ids_before
+
+    def test_move_changes_topology(self):
+        t = random_tree(12, 11)
+        reference = t.copy()
+        prune = self._internalish_edge(t)
+        targets = spr_targets(t, prune, radius=4)
+        mv = spr_move(t, prune, targets[-1])
+        assert t.robinson_foulds(reference) > 0
+
+    def test_adjacent_target_rejected(self):
+        t = random_tree(10, 12)
+        prune = self._internalish_edge(t)
+        s, a = t.edge_nodes(prune)
+        if t.is_leaf(a):
+            s, a = a, s
+        neighbor_edge = next(
+            t.edge_between(a, nb) for nb in t.neighbors(a) if nb != s
+        )
+        with pytest.raises(ValueError, match="adjacent"):
+            spr_move(t, prune, neighbor_edge)
+
+    def test_target_inside_subtree_rejected(self):
+        t = random_tree(14, 13)
+        # choose a prune edge whose subtree side is big
+        for prune, u, v in t.edges():
+            s, a = t.edge_nodes(prune)
+            if t.is_leaf(a):
+                s, a = a, s
+            if t.is_leaf(a) or t.is_leaf(s):
+                continue
+            # an edge strictly inside the pruned subtree
+            inner = [nb for nb in t.neighbors(s) if nb != a][0]
+            inside_edge = t.edge_between(s, inner)
+            with pytest.raises(ValueError, match="inside|adjacent"):
+                spr_move(t, prune, inside_edge)
+            return
+        pytest.skip("no suitable edge in this random tree")
+
+    def test_invalidate_lists_inner_nodes_only(self):
+        t = random_tree(12, 14)
+        prune = self._internalish_edge(t)
+        target = spr_targets(t, prune, radius=3)[0]
+        mv = spr_move(t, prune, target)
+        assert all(not t.is_leaf(n) for n in mv.invalidate)
+        assert len(mv.changed_edges) == 3

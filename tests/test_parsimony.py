@@ -1,0 +1,127 @@
+"""Fitch parsimony tests."""
+import numpy as np
+import pytest
+
+from repro.plk import Alignment, Tree
+from repro.search import (
+    directional_masks,
+    encode_bitmasks,
+    fitch_score,
+    stepwise_addition_tree,
+)
+from repro.seqgen import random_topology_with_lengths, simulate_alignment
+from repro.plk import SubstitutionModel
+
+
+class TestEncoding:
+    def test_bitmasks(self):
+        aln = Alignment.from_sequences({"x": "ACGTN", "y": "ACGTN", "z": "AAAAA"})
+        masks, weights = encode_bitmasks(aln)
+        assert masks[0, 0] == 0b0001  # A
+        assert masks[0, 1] == 0b0010  # C
+        assert masks[0, 2] == 0b0100  # G
+        assert masks[0, 3] == 0b1000  # T
+        assert masks[0, 4] == 0b1111  # N
+
+    def test_weights_from_compression(self):
+        aln = Alignment.from_sequences({"x": "AAC", "y": "GGT"})
+        _, weights = encode_bitmasks(aln)
+        assert sorted(weights.tolist()) == [1, 2]
+
+
+class TestFitchScore:
+    def test_identical_sequences_zero(self, quartet_tree):
+        aln = Alignment.from_sequences({t: "ACGT" for t in "abcd"})
+        masks, weights = encode_bitmasks(aln)
+        assert fitch_score(quartet_tree, masks, weights) == 0
+
+    def test_known_quartet_score(self, quartet_tree):
+        # one column: a=A b=A c=C d=C -> 1 mutation on the central edge
+        aln = Alignment.from_sequences({"a": "A", "b": "A", "c": "C", "d": "C"})
+        masks, weights = encode_bitmasks(aln)
+        assert fitch_score(quartet_tree, masks, weights) == 1
+
+    def test_incongruent_column_costs_two(self, quartet_tree):
+        # a=A c=A | b=C d=C on ((a,b),(c,d)): needs 2 mutations
+        aln = Alignment.from_sequences({"a": "A", "b": "C", "c": "A", "d": "C"})
+        masks, weights = encode_bitmasks(aln)
+        assert fitch_score(quartet_tree, masks, weights) == 2
+
+    def test_root_invariance(self):
+        rng = np.random.default_rng(3)
+        tree, lengths = random_topology_with_lengths(10, rng)
+        aln = simulate_alignment(tree, lengths, SubstitutionModel.jc69(), 1.0, 200, rng)
+        masks, weights = encode_bitmasks(aln)
+        scores = {fitch_score(tree, masks, weights, e) for e in range(tree.n_edges)}
+        assert len(scores) == 1
+
+    def test_gaps_never_cost(self, quartet_tree):
+        aln = Alignment.from_sequences({"a": "A", "b": "-", "c": "-", "d": "A"})
+        masks, weights = encode_bitmasks(aln)
+        assert fitch_score(quartet_tree, masks, weights) == 0
+
+    def test_weights_multiply(self, quartet_tree):
+        aln = Alignment.from_sequences(
+            {"a": "AAA", "b": "AAA", "c": "CCC", "d": "CCC"}
+        )
+        masks, weights = encode_bitmasks(aln)
+        assert fitch_score(quartet_tree, masks, weights) == 3  # weight 3 x 1
+
+
+class TestDirectionalMasks:
+    def test_consistent_with_fitch(self, quartet_tree):
+        aln = Alignment.from_sequences({"a": "AC", "b": "AG", "c": "CT", "d": "CT"})
+        masks, weights = encode_bitmasks(aln)
+        direction = directional_masks(quartet_tree, masks)
+        # every directed edge present, both ways
+        for eid, u, v in quartet_tree.edges():
+            assert (u, v) in direction
+            assert (v, u) in direction
+        # leaf -> parent mask is the leaf's own mask
+        parent = quartet_tree.neighbors(0)[0]
+        np.testing.assert_array_equal(direction[(0, parent)], masks[0])
+
+
+class TestStepwiseAddition:
+    def test_recovers_clean_topology(self):
+        """Short branches (little homoplasy): stepwise addition recovers
+        the generating tree and never scores worse than it."""
+        rng = np.random.default_rng(9)
+        tree, lengths = random_topology_with_lengths(8, rng, mean_length=0.04)
+        aln = simulate_alignment(
+            tree, lengths, SubstitutionModel.jc69(), 2.0, 2000, rng
+        )
+        built = stepwise_addition_tree(aln, np.random.default_rng(1))
+        built.validate()
+        masks, weights = encode_bitmasks(aln)
+        # Stepwise addition is greedy (RAxML refines it with SPR after);
+        # it must land within 2% of the generating tree's score and very
+        # close in topology.
+        assert fitch_score(built, masks, weights) <= 1.02 * fitch_score(
+            tree, masks, weights
+        )
+        assert built.robinson_foulds(tree) <= 4
+
+    def test_score_no_worse_than_random(self):
+        rng = np.random.default_rng(10)
+        tree, lengths = random_topology_with_lengths(12, rng)
+        aln = simulate_alignment(tree, lengths, SubstitutionModel.jc69(), 1.0, 500, rng)
+        masks, weights = encode_bitmasks(aln)
+        built = stepwise_addition_tree(aln, np.random.default_rng(2))
+        random_tree = Tree.random(aln.taxa, np.random.default_rng(3))
+        assert fitch_score(built, masks, weights) <= fitch_score(
+            random_tree, masks, weights
+        )
+
+    def test_requires_three_taxa(self):
+        aln = Alignment.from_sequences({"a": "ACGT", "b": "ACGT"})
+        with pytest.raises(ValueError):
+            stepwise_addition_tree(aln, np.random.default_rng(0))
+
+    def test_deterministic_given_rng(self):
+        rng = np.random.default_rng(11)
+        tree, lengths = random_topology_with_lengths(9, rng)
+        aln = simulate_alignment(tree, lengths, SubstitutionModel.jc69(), 1.0, 300, rng)
+        a = stepwise_addition_tree(aln, np.random.default_rng(5))
+        b = stepwise_addition_tree(aln, np.random.default_rng(5))
+        assert a.robinson_foulds(b) == 0

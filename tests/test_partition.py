@@ -1,0 +1,136 @@
+"""Partition-scheme tests, including RAxML partition-file parsing."""
+import numpy as np
+import pytest
+
+from repro.plk import (
+    AA,
+    DNA,
+    Alignment,
+    Partition,
+    PartitionedAlignment,
+    PartitionScheme,
+    parse_partition_file,
+    uniform_scheme,
+)
+
+
+class TestPartition:
+    def test_basic(self):
+        p = Partition("gene1", DNA, ((0, 100),))
+        assert p.n_sites == 100
+        assert p.column_indices()[0] == 0
+        assert p.column_indices()[-1] == 99
+
+    def test_multi_range(self):
+        p = Partition("g", DNA, ((0, 10), (20, 25)))
+        assert p.n_sites == 15
+        idx = p.column_indices()
+        assert 15 == len(idx)
+        assert 12 not in idx
+
+    def test_empty_ranges_rejected(self):
+        with pytest.raises(ValueError):
+            Partition("g", DNA, ())
+
+    def test_bad_range_rejected(self):
+        with pytest.raises(ValueError):
+            Partition("g", DNA, ((5, 5),))
+
+
+class TestScheme:
+    def test_overlap_rejected(self):
+        with pytest.raises(ValueError, match="more than one"):
+            PartitionScheme(
+                (
+                    Partition("a", DNA, ((0, 10),)),
+                    Partition("b", DNA, ((5, 15),)),
+                )
+            )
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            PartitionScheme(
+                (
+                    Partition("a", DNA, ((0, 10),)),
+                    Partition("a", DNA, ((10, 20),)),
+                )
+            )
+
+    def test_uniform_scheme(self):
+        s = uniform_scheme(2500, 1000)
+        assert len(s) == 3
+        assert [p.n_sites for p in s] == [1000, 1000, 500]
+
+    def test_coverage_validation(self):
+        aln = Alignment.from_sequences({"x": "ACGTACGT", "y": "ACGTACGT"})
+        good = uniform_scheme(8, 4)
+        good.validate_against(aln)
+        with pytest.raises(ValueError, match="covers"):
+            uniform_scheme(6, 3).validate_against(aln)
+        with pytest.raises(ValueError, match="alignment has"):
+            uniform_scheme(12, 4).validate_against(aln)
+
+
+class TestPartitionFile:
+    def test_raxml_format(self):
+        scheme = parse_partition_file(
+            """
+            DNA, gene0 = 1-1000
+            DNA, gene1 = 1001-2000
+            AA, cytb = 2001-2500, 3001-3100
+            """
+        )
+        assert len(scheme) == 3
+        assert scheme[0].name == "gene0"
+        assert scheme[0].ranges == ((0, 1000),)
+        assert scheme[2].datatype is AA
+        assert scheme[2].ranges == ((2000, 2500), (3000, 3100))
+
+    def test_comments_and_blanks_skipped(self):
+        scheme = parse_partition_file("# comment\n\nDNA, g = 1-10\n")
+        assert len(scheme) == 1
+
+    def test_single_column_range(self):
+        scheme = parse_partition_file("DNA, g = 1-5\nDNA, h = 6\n")
+        assert scheme[1].ranges == ((5, 6),)
+
+    def test_bad_line_rejected(self):
+        with pytest.raises(ValueError, match="cannot parse"):
+            parse_partition_file("DNA gene = 1-10")
+
+    def test_bad_range_rejected(self):
+        with pytest.raises(ValueError, match="bad range"):
+            parse_partition_file("DNA, g = 10-5")
+
+    def test_unknown_datatype_rejected(self):
+        with pytest.raises(KeyError):
+            parse_partition_file("CODON, g = 1-10")
+
+
+class TestPartitionedAlignment:
+    def test_per_partition_compression(self):
+        # identical columns in DIFFERENT partitions stay distinct patterns
+        aln = Alignment.from_sequences({"x": "AAAA", "y": "CCCC"})
+        pa = PartitionedAlignment(aln, uniform_scheme(4, 2))
+        assert pa.n_partitions == 2
+        np.testing.assert_array_equal(pa.pattern_counts(), [1, 1])
+        assert pa.n_patterns == 2
+        np.testing.assert_array_equal(pa.data[0].weights, [2])
+
+    def test_tip_states_shape(self, small_partitioned):
+        for block in small_partitioned.data:
+            n_taxa, m, s = block.tip_states.shape
+            assert n_taxa == small_partitioned.n_taxa
+            assert m == block.n_patterns
+            assert s == 4
+
+    def test_weights_sum_to_partition_sites(self, small_partitioned):
+        for block in small_partitioned.data:
+            assert block.weights.sum() == block.partition.n_sites
+
+    def test_mixed_datatypes(self):
+        aln = Alignment.from_sequences({"x": "ACGTARND", "y": "ACGAARNE"})
+        scheme = parse_partition_file("DNA, d = 1-4\nAA, p = 5-8")
+        pa = PartitionedAlignment(aln, scheme)
+        assert pa.data[0].states == 4
+        assert pa.data[1].states == 20

@@ -1,0 +1,66 @@
+"""PHYLIP / FASTA I/O tests."""
+import pytest
+
+from repro.plk import AA, parse_fasta, parse_phylip, write_fasta, write_phylip
+
+
+class TestPhylip:
+    def test_sequential(self):
+        aln = parse_phylip("2 4\ntaxA ACGT\ntaxB TGCA\n")
+        assert aln.n_taxa == 2
+        assert aln.sequence("taxA") == "ACGT"
+
+    def test_interleaved(self):
+        text = "2 8\na ACGT\nb TGCA\nACGT\nTGCA\n"
+        aln = parse_phylip(text)
+        assert aln.sequence("a") == "ACGTACGT"
+        assert aln.sequence("b") == "TGCATGCA"
+
+    def test_spaces_in_sequence_stripped(self):
+        aln = parse_phylip("1 8\nx ACGT ACGT\n")
+        assert aln.sequence("x") == "ACGTACGT"
+
+    def test_roundtrip(self, small_alignment):
+        back = parse_phylip(write_phylip(small_alignment))
+        assert back.taxa == small_alignment.taxa
+        assert (back.matrix == small_alignment.matrix).all()
+
+    def test_header_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="header says"):
+            parse_phylip("1 10\nx ACGT\n")
+
+    def test_missing_taxa_rejected(self):
+        with pytest.raises(ValueError, match="promises"):
+            parse_phylip("3 4\nx ACGT\n")
+
+    def test_bad_header_rejected(self):
+        with pytest.raises(ValueError, match="header"):
+            parse_phylip("hello world extra\nx ACGT")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            parse_phylip("  \n ")
+
+
+class TestFasta:
+    def test_basic(self):
+        aln = parse_fasta(">a desc ignored\nACGT\n>b\nTG\nCA\n")
+        assert aln.sequence("a") == "ACGT"
+        assert aln.sequence("b") == "TGCA"
+
+    def test_roundtrip(self, small_alignment):
+        back = parse_fasta(write_fasta(small_alignment, width=37))
+        assert back.taxa == small_alignment.taxa
+        assert (back.matrix == small_alignment.matrix).all()
+
+    def test_duplicate_record_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            parse_fasta(">a\nAC\n>a\nGT\n")
+
+    def test_data_before_header_rejected(self):
+        with pytest.raises(ValueError, match="before first"):
+            parse_fasta("ACGT\n>a\nACGT\n")
+
+    def test_aa_datatype(self):
+        aln = parse_fasta(">x\nARND\n", AA)
+        assert aln.datatype is AA

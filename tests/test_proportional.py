@@ -1,0 +1,139 @@
+"""Proportional branch-length mode tests (shared lengths x per-partition
+multipliers)."""
+import numpy as np
+import pytest
+
+from repro.core import (
+    PartitionedEngine,
+    optimize_branch,
+    optimize_branch_lengths,
+    optimize_model,
+    optimize_scalers,
+)
+from repro.plk import Alignment, PartitionedAlignment, SubstitutionModel, uniform_scheme
+from repro.seqgen import random_topology_with_lengths, simulate_alignment
+
+
+@pytest.fixture(scope="module")
+def proportional_data():
+    """Two genes generated at exactly 1x and 2.5x the same tree."""
+    rng = np.random.default_rng(23)
+    tree, lengths = random_topology_with_lengths(8, rng)
+    blocks = []
+    for mult in (1.0, 2.5):
+        aln = simulate_alignment(
+            tree, lengths * mult, SubstitutionModel.random_gtr(4), 1.0, 900, rng
+        )
+        blocks.append(aln.matrix)
+    alignment = Alignment(tree.taxa, np.concatenate(blocks, axis=1))
+    return PartitionedAlignment(alignment, uniform_scheme(1_800, 900)), tree, lengths
+
+
+class TestMode:
+    def test_scalers_default_to_one(self, proportional_data):
+        data, tree, lengths = proportional_data
+        eng = PartitionedEngine(
+            data, tree.copy(), branch_mode="proportional", initial_lengths=lengths
+        )
+        np.testing.assert_array_equal(eng.scalers, [1.0, 1.0])
+
+    def test_set_scaler_rescales_partition(self, proportional_data):
+        data, tree, lengths = proportional_data
+        eng = PartitionedEngine(
+            data, tree.copy(), branch_mode="proportional", initial_lengths=lengths
+        )
+        eng.set_scaler(1, 2.0)
+        bl = eng.branch_lengths()
+        np.testing.assert_allclose(bl[:, 1], 2.0 * bl[:, 0])
+
+    def test_set_scaler_requires_mode(self, proportional_data):
+        data, tree, lengths = proportional_data
+        eng = PartitionedEngine(data, tree.copy(), branch_mode="joint")
+        with pytest.raises(ValueError, match="proportional"):
+            eng.set_scaler(0, 2.0)
+
+    def test_positive_scalers_only(self, proportional_data):
+        data, tree, lengths = proportional_data
+        eng = PartitionedEngine(
+            data, tree.copy(), branch_mode="proportional", initial_lengths=lengths
+        )
+        with pytest.raises(ValueError, match="positive"):
+            eng.set_scaler(0, -1.0)
+
+    def test_per_partition_set_rejected(self, proportional_data):
+        data, tree, lengths = proportional_data
+        eng = PartitionedEngine(
+            data, tree.copy(), branch_mode="proportional", initial_lengths=lengths
+        )
+        with pytest.raises(ValueError, match="per-partition"):
+            eng.set_branch_length(0, 0.1, partition=1)
+
+    def test_global_length_scales_through(self, proportional_data):
+        data, tree, lengths = proportional_data
+        eng = PartitionedEngine(
+            data, tree.copy(), branch_mode="proportional", initial_lengths=lengths
+        )
+        eng.set_scaler(1, 3.0)
+        eng.set_branch_length(2, 0.5)
+        bl = eng.branch_lengths()
+        assert bl[2, 0] == pytest.approx(0.5)
+        assert bl[2, 1] == pytest.approx(1.5)
+
+
+class TestOptimization:
+    def test_scaler_recovery(self, proportional_data):
+        data, tree, lengths = proportional_data
+        eng = PartitionedEngine(
+            data, tree.copy(), branch_mode="proportional", initial_lengths=lengths
+        )
+        optimize_scalers(eng, "new")
+        ratio = eng.scalers[1] / eng.scalers[0]
+        assert ratio == pytest.approx(2.5, rel=0.15)
+
+    def test_strategies_agree(self, proportional_data):
+        data, tree, lengths = proportional_data
+        out = {}
+        for strategy in ("old", "new"):
+            eng = PartitionedEngine(
+                data, tree.copy(), branch_mode="proportional", initial_lengths=lengths
+            )
+            optimize_scalers(eng, strategy)
+            out[strategy] = eng.scalers
+        np.testing.assert_allclose(out["old"], out["new"], rtol=1e-2)
+
+    def test_branch_opt_keeps_proportionality(self, proportional_data):
+        data, tree, lengths = proportional_data
+        eng = PartitionedEngine(
+            data, tree.copy(), branch_mode="proportional", initial_lengths=lengths
+        )
+        eng.set_scaler(1, 2.0)
+        optimize_branch_lengths(eng, "new", passes=1)
+        bl = eng.branch_lengths()
+        np.testing.assert_allclose(bl[:, 1], 2.0 * bl[:, 0], rtol=1e-9)
+
+    def test_full_model_opt_monotone(self, proportional_data):
+        data, tree, lengths = proportional_data
+        eng = PartitionedEngine(
+            data, tree.copy(), branch_mode="proportional", initial_lengths=lengths
+        )
+        before = eng.loglikelihood()
+        lnl = optimize_model(eng, "new", max_rounds=2)
+        assert lnl > before
+
+    def test_proportional_beats_joint(self, proportional_data):
+        """With genuinely 2.5x-faster gene 1, the proportional model must
+        fit better than joint (and both optimized equally hard)."""
+        data, tree, lengths = proportional_data
+        fits = {}
+        for mode in ("joint", "proportional"):
+            eng = PartitionedEngine(
+                data, tree.copy(), branch_mode=mode, initial_lengths=lengths
+            )
+            fits[mode] = optimize_model(eng, "new", max_rounds=3)
+        assert fits["proportional"] > fits["joint"] + 10
+
+    def test_scalers_require_mode(self, proportional_data):
+        data, tree, lengths = proportional_data
+        eng = PartitionedEngine(data, tree.copy(), branch_mode="joint")
+        with pytest.raises(ValueError, match="proportional"):
+            optimize_scalers(eng, "new")

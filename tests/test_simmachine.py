@@ -1,0 +1,191 @@
+"""Machine model, cost model, and simulator tests."""
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Region, Trace, WorkItem
+from repro.simmachine import (
+    BARCELONA,
+    CLOVERTOWN,
+    NEHALEM,
+    PLATFORMS,
+    X4600,
+    MachineSpec,
+    bytes_per_pattern,
+    flops_per_pattern,
+    get_platform,
+    seconds_per_pattern,
+    simulate_trace,
+    speedup_curve,
+)
+
+
+def make_trace(regions, pattern_counts, states=None):
+    return Trace(
+        regions=regions,
+        pattern_counts=np.asarray(pattern_counts, dtype=np.int64),
+        states=np.asarray(
+            states if states is not None else [4] * len(pattern_counts),
+            dtype=np.int64,
+        ),
+        categories=4,
+    )
+
+
+class TestMachineSpec:
+    def test_paper_platforms_registered(self):
+        assert set(PLATFORMS) == {"nehalem", "clovertown", "barcelona", "x4600"}
+        assert get_platform("Nehalem") is NEHALEM
+        with pytest.raises(KeyError):
+            get_platform("epyc")
+
+    def test_core_counts_match_paper(self):
+        assert NEHALEM.cores == 8
+        assert CLOVERTOWN.cores == 8
+        assert BARCELONA.cores == 16
+        assert X4600.cores == 16
+
+    def test_numa_bandwidth_scales_with_sockets(self):
+        """Barcelona (NUMA): aggregate bandwidth grows up to 4 sockets."""
+        bw1 = BARCELONA.bandwidth_per_thread(1) * 1
+        bw4 = BARCELONA.bandwidth_per_thread(4) * 4
+        assert bw4 > bw1 * 2
+
+    def test_fsb_bandwidth_is_shared(self):
+        """Clovertown: total pool fixed, per-thread share shrinks."""
+        total8 = CLOVERTOWN.bandwidth_per_thread(8) * 8
+        total2 = CLOVERTOWN.bandwidth_per_thread(2) * 2
+        assert total8 <= total2 * 1.01
+
+    def test_barrier_grows_with_threads(self):
+        assert X4600.barrier_seconds(16) > X4600.barrier_seconds(8)
+        assert X4600.barrier_seconds(1) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MachineSpec("bad", 0, 4, 2.0, 4.0, 0.5, 10.0, 5.0)
+        with pytest.raises(ValueError):
+            MachineSpec("bad", 2, 4, 2.0, 4.0, 1.5, 10.0, 5.0)
+
+
+class TestCostModel:
+    def test_protein_25x_dna(self):
+        """The paper's 20^2/4^2 = 25x cost ratio for the s^2-scaling ops."""
+        for op in ("newview", "sumtable"):
+            ratio = flops_per_pattern(op, 20, 4) / flops_per_pattern(op, 4, 4)
+            assert ratio == pytest.approx(25.0, rel=0.2)
+
+    def test_derivative_linear_in_states(self):
+        ratio = flops_per_pattern("derivative", 20, 4) / flops_per_pattern(
+            "derivative", 4, 4
+        )
+        assert ratio == pytest.approx(5.0)
+
+    def test_unknown_op(self):
+        with pytest.raises(ValueError):
+            flops_per_pattern("gemm", 4, 4)
+        with pytest.raises(ValueError):
+            bytes_per_pattern("gemm", 4, 4)
+
+    def test_roofline_max(self):
+        t = seconds_per_pattern("newview", 4, 4, NEHALEM, 1)
+        flop_t = flops_per_pattern("newview", 4, 4) / NEHALEM.flops_per_second()
+        mem_t = bytes_per_pattern("newview", 4, 4) / NEHALEM.bandwidth_per_thread(1)
+        assert t == pytest.approx(max(flop_t, mem_t))
+
+    def test_contention_slows_fsb(self):
+        t1 = seconds_per_pattern("newview", 4, 4, CLOVERTOWN, 1)
+        t8 = seconds_per_pattern("newview", 4, 4, CLOVERTOWN, 8)
+        assert t8 >= t1
+
+
+class TestSimulator:
+    def test_one_thread_equals_serial_work(self):
+        trace = make_trace(
+            [Region(items=[WorkItem(0, "newview", 1000, 10)])], [1000]
+        )
+        res = simulate_trace(trace, NEHALEM, 1)
+        expected = 10_000 * seconds_per_pattern("newview", 4, 4, NEHALEM, 1)
+        assert res.total_seconds == pytest.approx(expected)
+        assert res.sync_seconds == 0.0
+        assert res.efficiency == pytest.approx(1.0)
+
+    def test_speedup_bounded_by_threads(self):
+        trace = make_trace(
+            [Region(items=[WorkItem(0, "newview", 10_000, 5)])] * 20, [10_000]
+        )
+        curve = speedup_curve(trace, NEHALEM, [2, 4, 8])
+        for t, s in curve.items():
+            assert s <= t + 1e-9
+        assert curve[8] > curve[2]
+
+    def test_busy_idle_accounting(self):
+        # one partition of 17 patterns over 4 threads: imbalance
+        trace = make_trace([Region(items=[WorkItem(0, "newview", 17, 1)])], [17])
+        res = simulate_trace(trace, NEHALEM, 4)
+        # span = max per-thread busy; idle fills the rest
+        spans = res.busy_seconds + res.idle_seconds
+        np.testing.assert_allclose(spans, spans[0], atol=1e-15)
+
+    def test_idle_threads_when_partition_short(self):
+        """m'_p < T: idle workers (the paper's worst case)."""
+        trace = make_trace([Region(items=[WorkItem(0, "derivative", 3, 1)])], [3])
+        res = simulate_trace(trace, BARCELONA, 16)
+        assert (res.busy_seconds == 0).sum() == 13
+
+    def test_cyclic_beats_block_for_multi_partition_regions(self):
+        """A region touching one short partition out of many: block
+        concentrates it on one thread."""
+        regions = [
+            Region(items=[WorkItem(1, "newview", 100, 50)]),
+        ]
+        trace = make_trace(regions, [5000, 100, 5000])
+        cyc = simulate_trace(trace, NEHALEM, 8, "cyclic")
+        blk = simulate_trace(trace, NEHALEM, 8, "block")
+        assert blk.total_seconds > cyc.total_seconds * 2
+
+    def test_thread_count_validation(self):
+        trace = make_trace([Region(items=[WorkItem(0, "newview", 10, 1)])], [10])
+        with pytest.raises(ValueError, match="cores"):
+            simulate_trace(trace, NEHALEM, 16)
+        with pytest.raises(ValueError):
+            simulate_trace(trace, NEHALEM, 0)
+
+    def test_unfinalized_trace_rejected(self):
+        with pytest.raises(ValueError, match="finalized"):
+            simulate_trace(Trace(), NEHALEM, 2)
+
+    def test_label_breakdown_sums_to_total(self):
+        regions = [
+            Region(items=[WorkItem(0, "newview", 100, 1)], label="a"),
+            Region(items=[WorkItem(0, "derivative", 100, 1)], label="b"),
+        ]
+        trace = make_trace(regions, [100])
+        res = simulate_trace(trace, NEHALEM, 4)
+        assert sum(res.label_seconds.values()) == pytest.approx(res.total_seconds)
+
+    def test_more_regions_more_sync(self):
+        """Same work split across more barriers -> more total time (the
+        oldPAR pathology in miniature)."""
+        one = make_trace([Region(items=[WorkItem(0, "derivative", 1000, 100)])], [1000])
+        many = make_trace(
+            [Region(items=[WorkItem(0, "derivative", 1000, 1)]) for _ in range(100)],
+            [1000],
+        )
+        fast = simulate_trace(one, X4600, 16)
+        slow = simulate_trace(many, X4600, 16)
+        assert slow.total_seconds > fast.total_seconds
+        assert slow.sync_seconds > fast.sync_seconds
+
+    @given(st.integers(1, 8), st.integers(1, 1000))
+    @settings(max_examples=40, deadline=None)
+    def test_makespan_consistency(self, threads, patterns):
+        trace = make_trace(
+            [Region(items=[WorkItem(0, "newview", patterns, 3)])], [patterns]
+        )
+        res = simulate_trace(trace, NEHALEM, threads)
+        # total == span + sync; busy <= threads * span
+        assert res.total_seconds >= res.sync_seconds
+        work_time = res.total_seconds - res.sync_seconds
+        assert res.busy_seconds.max() == pytest.approx(work_time)

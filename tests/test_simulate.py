@@ -1,0 +1,154 @@
+"""Sequence-simulation (SeqGen substitute) tests."""
+import numpy as np
+import pytest
+
+from repro.plk import AA, DNA, EigenSystem, SubstitutionModel
+from repro.seqgen import (
+    default_taxa,
+    random_topology_with_lengths,
+    simulate_alignment,
+    simulate_states,
+    variable_lengths,
+    scheme_from_lengths,
+    yule_tree,
+)
+
+
+class TestRandomTrees:
+    def test_topology_with_lengths(self):
+        tree, lengths = random_topology_with_lengths(15, np.random.default_rng(1))
+        tree.validate()
+        assert lengths.shape == (tree.n_edges,)
+        assert (lengths > 0).all()
+
+    def test_yule_valid(self):
+        for n in (3, 4, 10, 30):
+            tree, lengths = yule_tree(n, np.random.default_rng(n))
+            tree.validate()
+            assert (lengths > 0).all()
+
+    def test_yule_scale(self):
+        tree, lengths = yule_tree(20, np.random.default_rng(2), scale=0.4)
+        from repro.seqgen.randomtree import _mean_tip_depth
+
+        assert _mean_tip_depth(tree, lengths) == pytest.approx(0.4, rel=0.01)
+
+    def test_default_taxa_unique_sorted(self):
+        taxa = default_taxa(12)
+        assert len(set(taxa)) == 12
+        assert list(taxa) == sorted(taxa)
+
+
+class TestSimulateStates:
+    def test_shape_and_range(self, small_tree):
+        tree, lengths = small_tree
+        states = simulate_states(
+            tree, lengths, SubstitutionModel.jc69(), 1.0, 100, np.random.default_rng(3)
+        )
+        assert states.shape == (tree.n_taxa, 100)
+        assert states.min() >= 0 and states.max() <= 3
+
+    def test_zero_length_branches_copy_parent(self):
+        """With epsilon branch lengths everywhere, all leaves identical."""
+        rng = np.random.default_rng(4)
+        tree, _ = random_topology_with_lengths(6, rng)
+        lengths = np.full(tree.n_edges, 1e-8)
+        states = simulate_states(tree, lengths, SubstitutionModel.jc69(), 1.0, 50, rng)
+        assert (states == states[0]).all()
+
+    def test_long_branches_decorrelate(self):
+        """Huge branch lengths: leaf states approach independence; observed
+        pairwise identity ~ sum pi^2 = 0.25 for JC."""
+        rng = np.random.default_rng(5)
+        tree, _ = random_topology_with_lengths(4, rng)
+        lengths = np.full(tree.n_edges, 50.0)
+        states = simulate_states(tree, lengths, SubstitutionModel.jc69(), 1.0, 8000, rng)
+        identity = (states[0] == states[1]).mean()
+        assert identity == pytest.approx(0.25, abs=0.03)
+
+    def test_stationary_frequencies_preserved(self):
+        """Leaf state frequencies match the model's pi."""
+        model = SubstitutionModel.gtr(
+            np.array([1, 2, 1, 1, 2, 1.0]), np.array([0.4, 0.3, 0.2, 0.1])
+        )
+        rng = np.random.default_rng(6)
+        tree, lengths = random_topology_with_lengths(5, rng)
+        states = simulate_states(tree, lengths, model, 1.0, 20000, rng)
+        freqs = np.bincount(states.ravel(), minlength=4) / states.size
+        np.testing.assert_allclose(freqs, model.frequencies, atol=0.01)
+
+    def test_deterministic_with_seed(self, small_tree):
+        tree, lengths = small_tree
+        a = simulate_states(tree, lengths, SubstitutionModel.jc69(), 1.0, 60, np.random.default_rng(7))
+        b = simulate_states(tree, lengths, SubstitutionModel.jc69(), 1.0, 60, np.random.default_rng(7))
+        np.testing.assert_array_equal(a, b)
+
+
+class TestSimulateAlignment:
+    def test_characters_valid(self, small_tree):
+        tree, lengths = small_tree
+        aln = simulate_alignment(
+            tree, lengths, SubstitutionModel.jc69(), 1.0, 80, np.random.default_rng(8)
+        )
+        assert set(aln.sequence(aln.taxa[0])) <= set("ACGT")
+        assert aln.datatype is DNA
+
+    def test_aa_simulation(self, small_tree):
+        tree, lengths = small_tree
+        aln = simulate_alignment(
+            tree, lengths, SubstitutionModel.poisson_aa(), 1.0, 40, np.random.default_rng(9)
+        )
+        assert aln.datatype is AA
+        assert set(aln.sequence(aln.taxa[0])) <= set(AA.symbols)
+
+    def test_unique_columns_enforced(self):
+        """The paper's m == m' requirement."""
+        rng = np.random.default_rng(10)
+        tree, lengths = random_topology_with_lengths(10, rng)
+        aln = simulate_alignment(
+            tree,
+            lengths,
+            SubstitutionModel.jc69(),
+            1.0,
+            500,
+            rng,
+            unique_columns=True,
+        )
+        patterns, weights, _ = aln.compress()
+        assert patterns.n_sites == 500
+        assert (weights == 1).all()
+
+    def test_unique_columns_impossible_raises(self, quartet_tree):
+        """4 taxa with near-zero branches cannot yield many unique columns."""
+        lengths = np.full(5, 1e-8)
+        with pytest.raises(RuntimeError, match="unique"):
+            simulate_alignment(
+                quartet_tree,
+                lengths,
+                SubstitutionModel.jc69(),
+                1.0,
+                400,
+                np.random.default_rng(11),
+                unique_columns=True,
+                max_attempts=3,
+            )
+
+
+class TestVariableLengths:
+    def test_exact_total_and_bounds(self):
+        rng = np.random.default_rng(12)
+        lengths = variable_lengths(19_839, 34, 148, 2_705, rng)
+        assert lengths.sum() == 19_839
+        assert lengths.min() == 148
+        assert lengths.max() == 2_705
+        assert len(lengths) == 34
+
+    def test_infeasible_rejected(self):
+        with pytest.raises(ValueError, match="infeasible"):
+            variable_lengths(100, 3, 50, 60, np.random.default_rng(0))
+
+    def test_scheme_from_lengths(self):
+        scheme = scheme_from_lengths(np.array([10, 20, 5]), "DNA")
+        assert len(scheme) == 3
+        assert scheme.n_sites == 35
+        assert scheme[1].ranges == ((10, 30),)

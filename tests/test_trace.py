@@ -1,0 +1,103 @@
+"""Trace-recording tests."""
+import numpy as np
+import pytest
+
+from repro.core import NullRecorder, Region, Trace, TraceRecorder, WorkItem
+
+
+class TestWorkItem:
+    def test_valid(self):
+        it = WorkItem(partition=0, op="newview", patterns=100, count=3)
+        assert it.patterns == 100
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ValueError, match="unknown kernel op"):
+            WorkItem(partition=0, op="fft", patterns=10)
+
+    def test_nonpositive_count_rejected(self):
+        with pytest.raises(ValueError):
+            WorkItem(partition=0, op="newview", patterns=10, count=0)
+
+
+class TestRecorder:
+    def test_explicit_region_groups_ops(self):
+        rec = TraceRecorder()
+        rec.begin_region("phase")
+        rec.newview(0, 100, 2)
+        rec.derivative(1, 50)
+        rec.end_region()
+        trace = rec.finalize(np.array([100, 50]), np.array([4, 4]))
+        assert trace.n_regions == 1
+        region = trace.regions[0]
+        assert region.label == "phase"
+        assert region.active_partitions() == {0, 1}
+        assert region.total_pattern_ops() == 250
+
+    def test_bare_ops_become_single_regions(self):
+        """The oldPAR degenerate case: every op is its own barrier."""
+        rec = TraceRecorder()
+        rec.derivative(0, 100)
+        rec.derivative(0, 100)
+        rec.evaluate(1, 30)
+        trace = rec.finalize(np.array([100, 30]), np.array([4, 4]))
+        assert trace.n_regions == 3
+
+    def test_empty_regions_dropped(self):
+        rec = TraceRecorder()
+        rec.begin_region("empty")
+        rec.end_region()
+        trace = rec.finalize(np.array([10]), np.array([4]))
+        assert trace.n_regions == 0
+
+    def test_nesting_rejected(self):
+        rec = TraceRecorder()
+        rec.begin_region("a")
+        with pytest.raises(RuntimeError, match="already open"):
+            rec.begin_region("b")
+
+    def test_end_without_begin_rejected(self):
+        with pytest.raises(RuntimeError, match="no region open"):
+            TraceRecorder().end_region()
+
+    def test_finalize_with_open_region_rejected(self):
+        rec = TraceRecorder()
+        rec.begin_region("a")
+        rec.newview(0, 1)
+        with pytest.raises(RuntimeError, match="still open"):
+            rec.finalize(np.array([1]), np.array([4]))
+
+    def test_op_totals(self):
+        rec = TraceRecorder()
+        rec.begin_region("x")
+        rec.newview(0, 100, 5)
+        rec.sumtable(0, 100)
+        rec.end_region()
+        rec.derivative(0, 100)
+        trace = rec.finalize(np.array([100]), np.array([4]))
+        totals = trace.op_totals()
+        assert totals["newview"] == 500
+        assert totals["sumtable"] == 100
+        assert totals["derivative"] == 100
+        assert totals["evaluate"] == 0
+
+    def test_partition_op_totals(self):
+        rec = TraceRecorder()
+        rec.begin_region("x")
+        rec.newview(0, 10)
+        rec.newview(1, 20, 2)
+        rec.end_region()
+        trace = rec.finalize(np.array([10, 20]), np.array([4, 4]))
+        per = trace.partition_op_totals()
+        assert per[(0, "newview")] == 10
+        assert per[(1, "newview")] == 40
+
+
+class TestNullRecorder:
+    def test_accepts_everything(self):
+        rec = NullRecorder()
+        rec.begin_region("x")
+        rec.newview(0, 10)
+        rec.evaluate(0, 10)
+        rec.sumtable(0, 10)
+        rec.derivative(0, 10)
+        rec.end_region()  # no state, no errors

@@ -1,0 +1,197 @@
+"""Unit + property tests for the unrooted-tree structure."""
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.plk import Tree
+from repro.seqgen import default_taxa
+
+
+def random_tree(n, seed=0):
+    return Tree.random(default_taxa(n), np.random.default_rng(seed))
+
+
+class TestConstruction:
+    def test_counts(self):
+        t = random_tree(7)
+        assert t.n_taxa == 7
+        assert t.n_nodes == 12
+        assert t.n_edges == 11
+        t.validate()
+
+    def test_minimum_three_taxa(self):
+        with pytest.raises(ValueError):
+            Tree(("a", "b"))
+
+    def test_duplicate_taxa_rejected(self):
+        with pytest.raises(ValueError):
+            Tree(("a", "a", "b"))
+
+    def test_degrees(self):
+        t = random_tree(10)
+        for node in range(t.n_nodes):
+            assert t.degree(node) == (1 if t.is_leaf(node) else 3)
+
+    def test_copy_independent(self):
+        t = random_tree(6)
+        dup = t.copy()
+        u, v = dup.edge_nodes(0)
+        dup._unlink(u, v)
+        t.validate()  # original untouched
+        with pytest.raises(AssertionError):
+            dup.validate()
+
+    def test_edge_lookup(self):
+        t = random_tree(5)
+        for eid, u, v in t.edges():
+            assert t.edge_between(u, v) == eid
+            assert t.edge_between(v, u) == eid
+            got = t.edge_nodes(eid)
+            assert {u, v} == set(got)
+
+
+class TestTraversal:
+    def test_postorder_covers_all_inner_nodes(self):
+        t = random_tree(9)
+        for edge in range(t.n_edges):
+            steps = t.postorder(edge)
+            assert {s.node for s in steps} == set(range(t.n_taxa, t.n_nodes))
+
+    def test_children_before_parents(self):
+        t = random_tree(12)
+        steps = t.postorder(0)
+        seen = set(range(t.n_taxa))  # leaves are always ready
+        for s in steps:
+            assert s.c1 in seen and s.c2 in seen
+            seen.add(s.node)
+
+    def test_orientation_root_endpoints(self):
+        t = random_tree(6)
+        a, b = t.edge_nodes(3)
+        parent = t.orientation(3)
+        assert parent[a] == -1 and parent[b] == -1
+        # every other node has a real parent
+        others = [n for n in range(t.n_nodes) if n not in (a, b)]
+        assert (parent[others] >= 0).all()
+
+    def test_orientation_cache_invalidated_by_mutation(self):
+        t = random_tree(6)
+        before = t.postorder(0)
+        # do a trivial unlink/relink of the same edge
+        u, v = t.edge_nodes(2)
+        t._unlink(u, v)
+        t._link(u, v, 2)
+        after = t.postorder(0)
+        # same logical traversal (children sets per node); adjacency-dict
+        # order may legitimately permute the two children
+        unordered = lambda steps: {
+            (s.node, frozenset([(s.c1, s.e1), (s.c2, s.e2)])) for s in steps
+        }
+        assert unordered(before) == unordered(after)
+
+    def test_leaves_under(self):
+        t = Tree(("a", "b", "c", "d"))
+        t._link(0, 4, 0)
+        t._link(1, 4, 1)
+        t._link(2, 5, 2)
+        t._link(3, 5, 3)
+        t._link(4, 5, 4)
+        assert t.leaves_under(4, 5) == {0, 1}
+        assert t.leaves_under(5, 4) == {2, 3}
+
+
+class TestSplits:
+    def test_quartet_has_one_split(self, quartet_tree):
+        splits = quartet_tree.splits()
+        assert len(splits) == 1
+        # the split not containing leaf 0 is {c, d} = {2, 3}
+        assert splits == {frozenset({2, 3})}
+
+    def test_rf_zero_to_self(self):
+        t = random_tree(10, 3)
+        assert t.robinson_foulds(t.copy()) == 0
+
+    def test_rf_symmetric(self):
+        a = random_tree(10, 1)
+        b = random_tree(10, 2)
+        assert a.robinson_foulds(b) == b.robinson_foulds(a)
+
+    def test_rf_rejects_different_taxa(self):
+        a = random_tree(5)
+        b = Tree.random(default_taxa(5, "x"), np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            a.robinson_foulds(b)
+
+    def test_rf_invariant_to_leaf_numbering(self):
+        """Same topology expressed over permuted taxon ids -> RF 0."""
+        a = random_tree(8, 5)
+        from repro.plk import parse_newick, write_newick
+
+        b, _ = parse_newick(write_newick(a))
+        assert a.robinson_foulds(b) == 0
+
+
+class TestRandomProperties:
+    @given(st.integers(3, 40), st.integers(0, 1000))
+    @settings(max_examples=50, deadline=None)
+    def test_random_trees_valid(self, n, seed):
+        t = random_tree(n, seed)
+        t.validate()
+        assert len(t.edges()) == 2 * n - 3
+
+    @given(st.integers(4, 20), st.integers(0, 500))
+    @settings(max_examples=30, deadline=None)
+    def test_splits_count(self, n, seed):
+        """A binary unrooted tree has exactly n-3 internal edges/splits."""
+        t = random_tree(n, seed)
+        assert len(t.splits()) == n - 3
+
+    @given(st.integers(4, 16), st.integers(0, 100))
+    @settings(max_examples=30, deadline=None)
+    def test_postorder_length(self, n, seed):
+        t = random_tree(n, seed)
+        for edge in (0, t.n_edges - 1):
+            assert len(t.postorder(edge)) == n - 2
+
+
+class TestBranchScoreDistance:
+    def test_zero_to_self(self):
+        t = random_tree(9, 4)
+        lengths = np.random.default_rng(0).uniform(0.01, 0.5, t.n_edges)
+        assert t.branch_score_distance(lengths, t.copy(), lengths) == 0.0
+
+    def test_pure_length_difference(self):
+        """Same topology, one branch differs by d -> distance d."""
+        t = random_tree(7, 5)
+        rng = np.random.default_rng(1)
+        lengths = rng.uniform(0.05, 0.3, t.n_edges)
+        other = lengths.copy()
+        other[3] += 0.42
+        assert t.branch_score_distance(lengths, t.copy(), other) == pytest.approx(0.42)
+
+    def test_symmetric(self):
+        a = random_tree(8, 6)
+        b = random_tree(8, 7)
+        rng = np.random.default_rng(2)
+        la = rng.uniform(0.01, 0.4, a.n_edges)
+        lb = rng.uniform(0.01, 0.4, b.n_edges)
+        assert a.branch_score_distance(la, b, lb) == pytest.approx(
+            b.branch_score_distance(lb, a, la)
+        )
+
+    def test_taxon_set_mismatch(self):
+        a = random_tree(5)
+        b = Tree.random(default_taxa(5, "q"), np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            a.branch_score_distance(np.ones(7), b, np.ones(7))
+
+    def test_robust_to_leaf_numbering(self):
+        """Round-tripping through Newick permutes leaf ids; the distance
+        must still be ~0 when lengths agree."""
+        from repro.plk import parse_newick, write_newick
+
+        t = random_tree(9, 8)
+        lengths = np.random.default_rng(3).uniform(0.05, 0.4, t.n_edges)
+        back, back_lengths = parse_newick(write_newick(t, lengths, precision=12))
+        assert t.branch_score_distance(lengths, back, back_lengths) < 1e-9
