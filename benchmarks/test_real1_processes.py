@@ -7,11 +7,14 @@ The absolute numbers depend on this machine; the *structure* — oldPAR
 issues many more commands (each a pipe round-trip, the IPC analogue of a
 barrier) and is slower end-to-end — is the paper's phenomenon made
 physical."""
+import json
+
 import numpy as np
 import pytest
 
 from conftest import write_result
 from repro.parallel import ParallelPLK
+from repro.perf import Profiler, compare_strategies
 from repro.plk import PartitionedAlignment, SubstitutionModel, uniform_scheme
 from repro.seqgen import random_topology_with_lengths, simulate_alignment
 
@@ -87,3 +90,44 @@ def test_real1_new_issues_fewer_commands(setup, results_dir):
     assert counts["old"] > 2 * counts["new"]
     # wall-clock: newPAR should win on this host too (IPC dominates)
     assert times["new"] < times["old"]
+
+
+def test_real1_measured_profile(setup, results_dir):
+    """The paper's busy/idle decomposition measured on real processes:
+    per-worker busy and barrier-wait totals for both strategies, written
+    as a RunProfile JSON so the bench trajectory accumulates real
+    numbers.  newPAR must show strictly higher parallel efficiency."""
+    data, tree, lengths, models, alphas = setup
+    profiles = {}
+    for strategy in ("old", "new"):
+        profiler = Profiler(meta={
+            "benchmark": "real1", "strategy": strategy,
+            "workers": WORKERS, "partitions": N_PARTITIONS,
+        })
+        with ParallelPLK(
+            data, tree, models, alphas, WORKERS,
+            backend="processes", initial_lengths=lengths, profiler=profiler,
+        ) as team:
+            team.optimize_branches(list(range(6)), strategy)
+        profiles[strategy] = profiler.profile()
+
+    (results_dir / "real1_profile.json").write_text(json.dumps(
+        {s: p.to_dict() for s, p in profiles.items()}, indent=2
+    ) + "\n")
+    comparison = compare_strategies(profiles["old"], profiles["new"])
+    write_result(
+        results_dir,
+        "real1_profile",
+        "REAL1 measured profile (processes backend):\n"
+        f"oldPAR\n{profiles['old'].summary()}\n"
+        f"newPAR\n{profiles['new'].summary()}\n"
+        f"{comparison.summary()}",
+    )
+    assert profiles["new"].efficiency > profiles["old"].efficiency
+    # every region decomposes exactly: busy + idle + sync == wall
+    for profile in profiles.values():
+        for rec in profile.records:
+            for w in range(WORKERS):
+                assert rec.busy[w] + rec.idle[w] + rec.sync == pytest.approx(
+                    rec.wall, abs=1e-9
+                )

@@ -11,6 +11,11 @@ Subcommands
 ``replay``
     Capture a paper experiment's schedule and replay it on the simulated
     platforms (regenerates Figure-3-style tables from the shell).
+``profile``
+    Run oldPAR vs newPAR on the *real* thread/process backends with the
+    :mod:`repro.perf` profiler attached and report each run's measured
+    per-worker busy/idle decomposition (the hardware analogue of what
+    ``replay`` predicts).
 
 Examples
 --------
@@ -22,6 +27,8 @@ Examples
         --partitions data/d20_5000.part --search --strategy new
     python -m repro replay --dataset d50_50000_p1000 --analysis search \
         --candidates 60
+    python -m repro profile --workers 4 --backend processes \
+        --partitions 10 --out profile.json
 """
 from __future__ import annotations
 
@@ -86,6 +93,25 @@ def build_parser() -> argparse.ArgumentParser:
     rep.add_argument("--threads", type=int, nargs="+", default=[1, 8, 16])
     rep.add_argument("--distribution", choices=("cyclic", "block"),
                      default="cyclic")
+
+    prof = sub.add_parser(
+        "profile",
+        help="measure oldPAR vs newPAR on the real parallel backends",
+    )
+    prof.add_argument("--taxa", type=int, default=12)
+    prof.add_argument("--sites", type=int, default=2_000)
+    prof.add_argument("--partitions", type=int, default=10)
+    prof.add_argument("--workers", type=int, default=4)
+    prof.add_argument("--backend", choices=("threads", "processes"),
+                      default="processes")
+    prof.add_argument("--distribution", choices=("cyclic", "block"),
+                      default="cyclic")
+    prof.add_argument("--edges", type=int, default=6,
+                      help="branches to optimize per strategy")
+    prof.add_argument("--alpha", action="store_true",
+                      help="also profile Gamma-shape (Brent) optimization")
+    prof.add_argument("--seed", type=int, default=42)
+    prof.add_argument("--out", help="write both RunProfiles as JSON here")
 
     return parser
 
@@ -262,12 +288,73 @@ def _cmd_replay(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_profile(args: argparse.Namespace) -> int:
+    import json
+
+    from .parallel import ParallelPLK
+    from .perf import Profiler, compare_strategies
+    from .plk import PartitionedAlignment, SubstitutionModel, uniform_scheme
+    from .seqgen import random_topology_with_lengths, simulate_alignment
+
+    if min(args.partitions, args.workers, args.edges, args.sites) < 1:
+        print("error: --partitions, --workers, --edges and --sites must be >= 1",
+              file=sys.stderr)
+        return 2
+
+    rng = np.random.default_rng(args.seed)
+    tree, lengths = random_topology_with_lengths(args.taxa, rng)
+    part_len = max(args.sites // args.partitions, 1)
+    sites = part_len * args.partitions
+    aln = simulate_alignment(
+        tree, lengths, SubstitutionModel.random_gtr(0), 1.0, sites, rng
+    )
+    data = PartitionedAlignment(aln, uniform_scheme(sites, part_len))
+    models = [SubstitutionModel.random_gtr(p) for p in range(data.n_partitions)]
+    alphas = [1.0] * data.n_partitions
+    edges = list(range(args.edges))
+    print(
+        f"profiling {data.n_partitions} partitions x ~{part_len} sites, "
+        f"{args.workers} {args.backend} workers, {len(edges)} branches"
+        + (", alpha" if args.alpha else "")
+    )
+
+    profiles = {}
+    for strategy in ("old", "new"):
+        profiler = Profiler(meta={
+            "strategy": strategy, "taxa": args.taxa, "sites": sites,
+            "partitions": data.n_partitions, "edges": len(edges),
+            "seed": args.seed,
+        })
+        with ParallelPLK(
+            data, tree, models, alphas, args.workers,
+            backend=args.backend, distribution=args.distribution,
+            initial_lengths=lengths, profiler=profiler,
+        ) as team:
+            team.optimize_branches(edges, strategy)
+            if args.alpha:
+                team.optimize_alpha(strategy)
+        profiles[strategy] = profiler.profile()
+        print(f"\n{strategy}PAR\n{profiles[strategy].summary()}")
+
+    print("\n" + compare_strategies(profiles["old"], profiles["new"]).summary())
+
+    if args.out:
+        out = Path(args.out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(json.dumps(
+            {s: p.to_dict() for s, p in profiles.items()}, indent=2
+        ) + "\n")
+        print(f"wrote {out}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
         "simulate": _cmd_simulate,
         "analyze": _cmd_analyze,
         "replay": _cmd_replay,
+        "profile": _cmd_profile,
     }
     return handlers[args.command](args)
 

@@ -31,9 +31,48 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-__all__ = ["WorkItem", "Region", "Trace", "TraceRecorder", "NullRecorder"]
+__all__ = [
+    "WorkItem",
+    "Region",
+    "Trace",
+    "TraceRecorder",
+    "NullRecorder",
+    "COMMAND_KINDS",
+    "REGION_KINDS",
+    "command_kind",
+]
 
 KNOWN_OPS = ("newview", "sumtable", "derivative", "evaluate")
+
+# Region kinds shared between the simulator's predicted schedule and the
+# real backends' measured schedule (repro.perf).  The first four are the
+# kernel ops above; "control" covers parameter updates and bookkeeping
+# commands whose cost is pure synchronization (no per-pattern work).
+REGION_KINDS = KNOWN_OPS + ("control",)
+
+# Master-broadcast command -> region kind.  One broadcast == one region:
+# this is the dictionary that lets a measured RunProfile and a simulated
+# SimulationResult speak the same per-region vocabulary.  Likelihood
+# evaluations ("lnl", "eval_alpha", ...) internally perform newview work
+# too; they are classified by their terminal reduction, matching how the
+# strategy drivers label the simulator's regions.
+COMMAND_KINDS = {
+    "lnl": "evaluate",
+    "lnl_parts": "evaluate",
+    "branch_lnl": "evaluate",
+    "eval_alpha": "evaluate",
+    "prepare": "sumtable",
+    "deriv": "derivative",
+    "set_bl": "control",
+    "set_alpha": "control",
+    "set_model": "control",
+    "release": "control",
+}
+
+
+def command_kind(op: str) -> str:
+    """The region kind of a parallel-backend command (default: control)."""
+    return COMMAND_KINDS.get(op, "control")
 
 
 @dataclass(frozen=True)

@@ -109,6 +109,10 @@ class BatchedBrent:
         else:
             g = np.atleast_1d(np.asarray(guess, dtype=np.float64))
             pad = self.xtol + _SQRT_EPS * np.abs(g)
+            # A bracket narrower than 2*pad would make the clip bounds
+            # cross (np.clip with min > max returns max, i.e. x > b);
+            # cap the pad at half the bracket width so a+pad <= b-pad.
+            pad = np.minimum(pad, 0.5 * (b - a))
             x = np.clip(g, a + pad, b - pad)
         fx = np.full(k, np.inf)
         fx[lanes] = np.asarray(fn(x, lanes), dtype=np.float64)[lanes]

@@ -9,12 +9,13 @@ from .distribution import (
     cyclic_partition_counts,
     partition_thread_counts,
 )
-from .engine import ParallelPLK
+from .engine import ParallelPLK, WorkerError
 from .worker import WorkerState, slice_partition_data
 
 __all__ = [
     "DISTRIBUTIONS",
     "ParallelPLK",
+    "WorkerError",
     "WorkerState",
     "block_indices",
     "block_partition_counts",

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import itertools
 import threading
+import traceback
 from dataclasses import dataclass
 
 import multiprocessing as mp
@@ -35,23 +36,61 @@ from ..plk.partition import PartitionedAlignment
 from ..plk.tree import Tree
 from .worker import WorkerState, slice_partition_data
 
-__all__ = ["ParallelPLK"]
+__all__ = ["ParallelPLK", "WorkerError"]
 
 _BRANCH_MIN, _BRANCH_MAX = 1e-8, 50.0
 _ALPHA_MIN, _ALPHA_MAX = 0.02, 100.0
 
 
+class WorkerError(RuntimeError):
+    """An exception raised (or a crash suffered) by one worker, surfaced on
+    the master after the broadcast's barrier protocol has completed — the
+    team never deadlocks on a failing worker.
+
+    Attributes
+    ----------
+    rank:
+        The failing worker's index.
+    original:
+        The worker-side exception (or the transport error, for a dead
+        process).
+    """
+
+    def __init__(self, rank: int, original: BaseException, detail: str = ""):
+        self.rank = rank
+        self.original = original
+        msg = f"worker {rank} failed: {original!r}"
+        if detail:
+            msg = f"{msg}\n{detail.rstrip()}"
+        super().__init__(msg)
+
+
+# Result-slot tags used by both backends' reply protocol.
+_OK, _ERR = "ok", "err"
+
+
 class _ThreadTeam:
-    """Barrier-synchronized thread workers."""
+    """Barrier-synchronized thread workers.
+
+    Protocol guarantees:
+
+    * a worker ALWAYS reaches the done-barrier, even when ``execute``
+      raises — the exception travels back in the worker's result slot and
+      the master re-raises the first one as :class:`WorkerError` *after*
+      the barrier completes, so the team stays usable;
+    * ``close()`` is idempotent (``with team: ... team.close()`` is fine).
+    """
 
     def __init__(self, states: list[WorkerState]):
         self.states = states
         self.n = len(states)
         self._cmd: tuple | None = None
+        self._timed = False
         self._results: list = [None] * self.n
         self._start = threading.Barrier(self.n + 1)
         self._done = threading.Barrier(self.n + 1)
         self._stop = False
+        self._closed = False
         self._threads = [
             threading.Thread(target=self._loop, args=(i,), daemon=True)
             for i in range(self.n)
@@ -64,18 +103,53 @@ class _ThreadTeam:
             self._start.wait()
             if self._stop:
                 return
-            self._results[rank] = self.states[rank].execute(self._cmd)
+            try:
+                if self._timed:
+                    value, busy = self.states[rank].execute_timed(self._cmd)
+                    self._results[rank] = (_OK, value, busy)
+                else:
+                    self._results[rank] = (_OK, self.states[rank].execute(self._cmd), 0.0)
+            except BaseException as exc:  # noqa: BLE001 - shipped to the master
+                self._results[rank] = (_ERR, exc, traceback.format_exc())
             self._done.wait()
 
-    def broadcast(self, cmd: tuple) -> list:
+    def _exchange(self, cmd: tuple, timed: bool) -> tuple[list, list[float]]:
+        if self._closed:
+            raise RuntimeError("worker team is closed")
         self._cmd = cmd
+        self._timed = timed
         self._start.wait()
         self._done.wait()
-        return list(self._results)
+        results: list = [None] * self.n
+        times = [0.0] * self.n
+        failure: WorkerError | None = None
+        for rank, (tag, payload, extra) in enumerate(self._results):
+            if tag == _ERR:
+                if failure is None:
+                    failure = WorkerError(rank, payload, extra)
+            else:
+                results[rank] = payload
+                times[rank] = extra
+        if failure is not None:
+            raise failure
+        return results, times
+
+    def broadcast(self, cmd: tuple) -> list:
+        return self._exchange(cmd, timed=False)[0]
+
+    def broadcast_timed(self, cmd: tuple) -> tuple[list, list[float]]:
+        """As :meth:`broadcast`, plus each worker's execute() seconds."""
+        return self._exchange(cmd, timed=True)
 
     def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
         self._stop = True
-        self._start.wait()
+        try:
+            self._start.wait(timeout=5)
+        except threading.BrokenBarrierError:
+            pass
         for t in self._threads:
             t.join(timeout=5)
 
@@ -83,20 +157,46 @@ class _ThreadTeam:
 def _process_worker_main(conn, slices, tree, models, alphas, lengths, categories):
     state = WorkerState(slices, tree, models, alphas, lengths, categories)
     while True:
-        cmd = conn.recv()
+        try:
+            cmd, timed = conn.recv()
+        except (EOFError, OSError):
+            return
         if cmd[0] == "stop":
             conn.close()
             return
-        conn.send(state.execute(cmd))
+        try:
+            if timed:
+                value, busy = state.execute_timed(cmd)
+                reply = (_OK, value, busy)
+            else:
+                reply = (_OK, state.execute(cmd), 0.0)
+        except BaseException as exc:  # noqa: BLE001 - shipped to the master
+            tb = traceback.format_exc()
+            try:
+                reply = (_ERR, exc, tb)
+                conn.send(reply)
+                continue
+            except Exception:
+                # Unpicklable exception: degrade to its repr.
+                reply = (_ERR, RuntimeError(repr(exc)), tb)
+        conn.send(reply)
 
 
 class _ProcessTeam:
-    """Forked process workers with pipe command/response channels."""
+    """Forked process workers with pipe command/response channels.
+
+    Worker-side exceptions are caught in the child and shipped back over
+    the pipe (same slot protocol as :class:`_ThreadTeam`).  If a child
+    *dies* outright, the master's ``recv`` sees ``EOFError``: the team is
+    then terminated cleanly (no leaked processes) and a
+    :class:`WorkerError` names the dead rank.
+    """
 
     def __init__(self, worker_args: list[tuple]):
         ctx = mp.get_context("fork")
         self.conns = []
         self.procs = []
+        self._closed = False
         for args in worker_args:
             parent, child = ctx.Pipe()
             proc = ctx.Process(
@@ -107,15 +207,53 @@ class _ProcessTeam:
             self.conns.append(parent)
             self.procs.append(proc)
 
+    def _exchange(self, cmd: tuple, timed: bool) -> tuple[list, list[float]]:
+        if self._closed:
+            raise RuntimeError("worker team is closed")
+        for rank, conn in enumerate(self.conns):
+            try:
+                conn.send((cmd, timed))
+            except (BrokenPipeError, OSError) as exc:
+                self.close()
+                raise WorkerError(
+                    rank, exc, "worker process died before dispatch; team terminated"
+                ) from exc
+        n = len(self.conns)
+        results: list = [None] * n
+        times = [0.0] * n
+        failure: WorkerError | None = None
+        for rank, conn in enumerate(self.conns):
+            try:
+                tag, payload, extra = conn.recv()
+            except (EOFError, BrokenPipeError, OSError) as exc:
+                self.close()
+                raise WorkerError(
+                    rank, exc, "worker process died mid-command; team terminated"
+                ) from exc
+            if tag == _ERR:
+                if failure is None:
+                    failure = WorkerError(rank, payload, extra)
+            else:
+                results[rank] = payload
+                times[rank] = extra
+        if failure is not None:
+            raise failure
+        return results, times
+
     def broadcast(self, cmd: tuple) -> list:
-        for conn in self.conns:
-            conn.send(cmd)
-        return [conn.recv() for conn in self.conns]
+        return self._exchange(cmd, timed=False)[0]
+
+    def broadcast_timed(self, cmd: tuple) -> tuple[list, list[float]]:
+        """As :meth:`broadcast`, plus each worker's execute() seconds."""
+        return self._exchange(cmd, timed=True)
 
     def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
         for conn in self.conns:
             try:
-                conn.send(("stop",))
+                conn.send((("stop",), False))
                 conn.close()
             except (BrokenPipeError, OSError):
                 pass
@@ -123,6 +261,7 @@ class _ProcessTeam:
             proc.join(timeout=5)
             if proc.is_alive():
                 proc.terminate()
+                proc.join(timeout=5)
 
 
 @dataclass
@@ -148,6 +287,10 @@ class ParallelPLK:
     distribution:
         Pattern-assignment policy, ``"cyclic"`` (RAxML default) or
         ``"block"``.
+    profiler:
+        A :class:`repro.perf.Profiler` to record per-command region
+        timings (master wall time + each worker's execute time), or
+        ``None`` for the zero-overhead :class:`repro.perf.NullProfiler`.
     """
 
     def __init__(
@@ -161,11 +304,17 @@ class ParallelPLK:
         distribution: str = "cyclic",
         initial_lengths: np.ndarray | None = None,
         categories: int = 4,
+        profiler=None,
     ):
         if n_workers < 1:
             raise ValueError("need at least one worker")
         if backend not in ("threads", "processes"):
             raise ValueError("backend must be 'threads' or 'processes'")
+        if profiler is None:
+            from ..perf import NullProfiler
+
+            profiler = NullProfiler()
+        self.profiler = profiler
         self.n_partitions = data.n_partitions
         self.n_workers = n_workers
         self.backend = backend
@@ -188,12 +337,14 @@ class ParallelPLK:
                     for sl in worker_slices
                 ]
             )
+        self.profiler.bind(backend=backend, n_workers=n_workers,
+                           distribution=distribution)
 
     # ------------------------------------------------------------------
 
     def _broadcast(self, cmd: tuple) -> list:
         self.commands_issued += 1
-        return self._team.broadcast(cmd)
+        return self.profiler.broadcast(self._team, cmd)
 
     def close(self) -> None:
         self._team.close()

@@ -16,6 +16,7 @@ the idle threads the paper describes.
 """
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 import numpy as np
@@ -94,6 +95,15 @@ class WorkerState:
         if handler is None:
             raise ValueError(f"unknown worker command {op!r}")
         return handler(*cmd[1:])
+
+    def execute_timed(self, cmd: tuple):
+        """Execute plus this worker's own busy seconds for the command —
+        the measured quantity behind :mod:`repro.perf`'s per-worker
+        busy/idle decomposition.  Self-timed inside the worker, so
+        dispatch, barrier and IPC time are excluded."""
+        t0 = time.perf_counter()
+        value = self.execute(cmd)
+        return value, time.perf_counter() - t0
 
     # -- likelihood ------------------------------------------------------
 

@@ -1,0 +1,230 @@
+"""Measured run profiles: the real-machine analogue of a simulator replay.
+
+A :class:`RunProfile` holds one :class:`CommandRecord` per master broadcast
+(= one parallel region of :mod:`repro.core.trace`'s vocabulary): the
+master-observed wall time plus each worker's own ``execute()`` seconds.
+From those two measurements the paper's busy/idle decomposition is derived
+per region:
+
+``busy[w]``
+    worker ``w``'s execute time — productive kernel work;
+``span``
+    ``max(busy)`` — the region lasts until its slowest worker finishes;
+``idle[w]``
+    ``span - busy[w]`` — barrier-wait caused by load imbalance, the
+    quantity Figures 3–6 of the paper decompose;
+``sync``
+    ``wall - span`` — dispatch + barrier/IPC overhead, charged to the
+    region as a whole (it is the same for every worker).
+
+Per worker, ``busy + idle + sync == wall`` exactly, so profile totals use
+the same field names and semantics as
+:class:`repro.simmachine.simulator.SimulationResult` — predicted and
+measured decompositions are directly comparable (see
+:mod:`repro.perf.compare`).
+"""
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from ..core.trace import REGION_KINDS
+
+__all__ = ["CommandRecord", "RunProfile"]
+
+
+@dataclass(frozen=True)
+class CommandRecord:
+    """Timing of one broadcast command (one parallel region).
+
+    Attributes
+    ----------
+    op:
+        The worker command name (``"deriv"``, ``"lnl"``, ...).
+    kind:
+        Its region kind from the shared trace vocabulary
+        (:data:`repro.core.trace.COMMAND_KINDS`).
+    wall:
+        Master-observed wall seconds, dispatch to reduction.
+    busy:
+        Per-worker ``execute()`` seconds, length ``n_workers``.
+    """
+
+    op: str
+    kind: str
+    wall: float
+    busy: tuple[float, ...]
+
+    @property
+    def span(self) -> float:
+        """Seconds until the slowest worker finished its share."""
+        return max(self.busy) if self.busy else 0.0
+
+    @property
+    def idle(self) -> tuple[float, ...]:
+        """Per-worker barrier-wait (imbalance) seconds: ``span - busy``."""
+        span = self.span
+        return tuple(span - b for b in self.busy)
+
+    @property
+    def sync(self) -> float:
+        """Dispatch + barrier/IPC seconds: ``wall - span`` (floored at 0)."""
+        return max(self.wall - self.span, 0.0)
+
+    def to_dict(self) -> dict:
+        return {
+            "op": self.op,
+            "kind": self.kind,
+            "wall": self.wall,
+            "busy": list(self.busy),
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "CommandRecord":
+        return cls(
+            op=d["op"], kind=d["kind"], wall=float(d["wall"]),
+            busy=tuple(float(b) for b in d["busy"]),
+        )
+
+
+@dataclass
+class RunProfile:
+    """Per-region timings of one real parallel run plus derived summaries.
+
+    Exposes the same vocabulary as the simulator's
+    :class:`~repro.simmachine.simulator.SimulationResult`:
+    ``total_seconds``, ``busy_seconds`` (per worker), ``idle_seconds``
+    (per worker), ``sync_seconds`` and ``efficiency``.
+    """
+
+    backend: str
+    n_workers: int
+    distribution: str = "cyclic"
+    records: list[CommandRecord] = field(default_factory=list)
+    meta: dict = field(default_factory=dict)
+
+    # -- totals (simulator vocabulary) ------------------------------------
+
+    @property
+    def n_regions(self) -> int:
+        return len(self.records)
+
+    @property
+    def total_seconds(self) -> float:
+        """Sum of per-region wall times (time spent inside broadcasts)."""
+        return float(sum(r.wall for r in self.records))
+
+    @property
+    def busy_seconds(self) -> np.ndarray:
+        """(W,) productive execute seconds per worker."""
+        out = np.zeros(self.n_workers)
+        for r in self.records:
+            out += np.asarray(r.busy)
+        return out
+
+    @property
+    def idle_seconds(self) -> np.ndarray:
+        """(W,) barrier-wait seconds per worker (waiting for the slowest)."""
+        out = np.zeros(self.n_workers)
+        for r in self.records:
+            out += np.asarray(r.idle)
+        return out
+
+    @property
+    def sync_seconds(self) -> float:
+        """Total dispatch + barrier/IPC seconds across regions."""
+        return float(sum(r.sync for r in self.records))
+
+    @property
+    def efficiency(self) -> float:
+        """Mean busy fraction across workers (1.0 = perfect balance and
+        zero synchronization cost) — the simulator's definition."""
+        denom = self.total_seconds * self.n_workers
+        return float(self.busy_seconds.sum() / denom) if denom > 0 else 0.0
+
+    @property
+    def load_balance(self) -> float:
+        """Mean worker busy time over max worker busy time (1.0 = every
+        worker did identical work; ignores synchronization cost)."""
+        busy = self.busy_seconds
+        top = float(busy.max()) if busy.size else 0.0
+        return float(busy.mean() / top) if top > 0 else 0.0
+
+    def kind_seconds(self) -> dict[str, float]:
+        """Wall seconds per region kind (newview/sumtable/.../control)."""
+        out = {k: 0.0 for k in REGION_KINDS}
+        for r in self.records:
+            out[r.kind] = out.get(r.kind, 0.0) + r.wall
+        return {k: v for k, v in out.items() if v > 0.0}
+
+    def decomposition(self) -> dict:
+        """The shared predicted-vs-measured comparison shape (also
+        implemented by ``SimulationResult.decomposition``)."""
+        return {
+            "n_workers": self.n_workers,
+            "total_seconds": self.total_seconds,
+            "busy_seconds": [float(b) for b in self.busy_seconds],
+            "idle_seconds": [float(i) for i in self.idle_seconds],
+            "sync_seconds": self.sync_seconds,
+            "efficiency": self.efficiency,
+        }
+
+    # -- reporting ---------------------------------------------------------
+
+    def summary(self) -> str:
+        busy = self.busy_seconds
+        idle = self.idle_seconds
+        lines = [
+            f"{self.backend} x{self.n_workers} ({self.distribution}): "
+            f"{self.n_regions} regions, wall {self.total_seconds*1e3:.1f} ms, "
+            f"sync {self.sync_seconds*1e3:.1f} ms, "
+            f"efficiency {self.efficiency:.1%}, "
+            f"load balance {self.load_balance:.1%}",
+        ]
+        for w in range(self.n_workers):
+            lines.append(
+                f"  worker {w}: busy {busy[w]*1e3:8.1f} ms   "
+                f"idle {idle[w]*1e3:8.1f} ms"
+            )
+        kinds = self.kind_seconds()
+        if kinds:
+            lines.append(
+                "  by kind: "
+                + "  ".join(f"{k}={v*1e3:.1f}ms" for k, v in sorted(kinds.items()))
+            )
+        return "\n".join(lines)
+
+    # -- (de)serialization -------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "backend": self.backend,
+            "n_workers": self.n_workers,
+            "distribution": self.distribution,
+            "meta": self.meta,
+            "summary": self.decomposition(),
+            "records": [r.to_dict() for r in self.records],
+        }
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    def save(self, path: str | Path) -> None:
+        Path(path).write_text(self.to_json() + "\n")
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "RunProfile":
+        return cls(
+            backend=d["backend"],
+            n_workers=int(d["n_workers"]),
+            distribution=d.get("distribution", "cyclic"),
+            records=[CommandRecord.from_dict(r) for r in d["records"]],
+            meta=d.get("meta", {}),
+        )
+
+    @classmethod
+    def load(cls, path: str | Path) -> "RunProfile":
+        return cls.from_dict(json.loads(Path(path).read_text()))

@@ -55,6 +55,20 @@ class SimulationResult:
         denom = self.total_seconds * self.n_threads
         return float(self.busy_seconds.sum() / denom) if denom > 0 else 0.0
 
+    def decomposition(self) -> dict:
+        """The shared predicted-vs-measured comparison shape (also
+        implemented by :class:`repro.perf.RunProfile`), so a simulated
+        prediction can be compared against a real profiled run with
+        :func:`repro.perf.compare_decompositions`."""
+        return {
+            "n_workers": self.n_threads,
+            "total_seconds": self.total_seconds,
+            "busy_seconds": [float(b) for b in self.busy_seconds],
+            "idle_seconds": [float(i) for i in self.idle_seconds],
+            "sync_seconds": self.sync_seconds,
+            "efficiency": self.efficiency,
+        }
+
     def summary(self) -> str:
         return (
             f"{self.machine:<11} T={self.n_threads:<3} {self.distribution:<6} "

@@ -39,6 +39,41 @@ class TestScalar:
         brent_minimize(fn, 0.0, 10.0, guess=1.5)
         assert calls[0] == pytest.approx(1.5, abs=1e-3)
 
+    def test_narrow_bracket_guess_stays_inside(self):
+        """Bracket narrower than 2*(xtol + eps*|g|): the clipped initial
+        point must stay inside [a, b] (previously np.clip with crossed
+        bounds pushed it to b - pad < a)."""
+        lo, hi = 1.0, 1.0 + 1e-5
+        evaluated = []
+
+        def fn(v):
+            evaluated.append(v)
+            assert lo <= v <= hi
+            return (v - 1.5) ** 2
+
+        x, _, _ = brent_minimize(fn, lo, hi, guess=5.0, xtol=1e-3)
+        assert lo <= x <= hi
+        assert all(lo <= v <= hi for v in evaluated)
+
+    def test_narrow_bracket_batched_lanes(self):
+        """Same guard lane-wise: only the narrow lane gets the capped pad."""
+        solver = BatchedBrent(
+            np.array([0.0, 2.0]), np.array([1e-6, 3.0]), xtol=1e-3
+        )
+        seen = []
+
+        def fn(x, active):
+            seen.append((x.copy(), active.copy()))
+            return (x - 2.5) ** 2
+
+        res = solver.run(fn, guess=np.array([0.5, 2.5]))
+        lo = np.array([0.0, 2.0])
+        hi = np.array([1e-6, 3.0])
+        for x, active in seen:  # inactive lanes are computed but never read
+            assert np.all(x[active] >= lo[active])
+            assert np.all(x[active] <= hi[active])
+        assert res.x[1] == pytest.approx(2.5, abs=1e-2)
+
 
 class TestBatched:
     def test_independent_lanes_match_scalar(self):

@@ -136,6 +136,42 @@ class TestReplay:
         assert lines
 
 
+class TestProfile:
+    def test_profile_writes_json_report(self, capsys, tmp_path):
+        import json
+
+        out_path = tmp_path / "profile.json"
+        rc = main(
+            [
+                "profile",
+                "--taxa", "8",
+                "--sites", "600",
+                "--partitions", "6",
+                "--workers", "2",
+                "--backend", "threads",
+                "--edges", "2",
+                "--seed", "3",
+                "--out", str(out_path),
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "oldPAR" in out and "newPAR" in out
+        assert "efficiency" in out
+        payload = json.loads(out_path.read_text())
+        assert set(payload) == {"old", "new"}
+        for strategy, blob in payload.items():
+            from repro.perf import RunProfile
+
+            profile = RunProfile.from_dict(blob)
+            assert profile.n_workers == 2
+            assert profile.n_regions > 0
+            assert profile.meta["strategy"] == strategy
+        # oldPAR issues more region broadcasts than newPAR
+        assert (len(payload["old"]["records"])
+                > len(payload["new"]["records"]))
+
+
 class TestCheckpointFlow:
     def test_checkpoint_and_resume(self, dataset_files, tmp_path, capsys):
         ckpt = tmp_path / "run.ckpt"

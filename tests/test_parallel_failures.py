@@ -1,0 +1,162 @@
+"""Barrier-protocol robustness: failing workers must never deadlock a
+team, dead processes must not leak, and close() must be idempotent.
+
+These are regression tests for real deadlocks: before the fix, a worker
+exception between the start- and done-barriers left the master blocked on
+the barrier forever (threads), and a dead child left ``conn.recv()``
+raising bare ``EOFError`` with the remaining processes leaked.
+"""
+import numpy as np
+import pytest
+
+from repro.core import PartitionedEngine
+from repro.parallel import ParallelPLK, WorkerError
+from repro.plk import PartitionedAlignment, SubstitutionModel, uniform_scheme
+from repro.seqgen import random_topology_with_lengths, simulate_alignment
+
+BACKENDS = ["threads", "processes"]
+
+
+@pytest.fixture(scope="module")
+def setup():
+    rng = np.random.default_rng(41)
+    tree, lengths = random_topology_with_lengths(6, rng)
+    aln = simulate_alignment(
+        tree, lengths, SubstitutionModel.random_gtr(2), 1.0, 400, rng
+    )
+    data = PartitionedAlignment(aln, uniform_scheme(400, 200))
+    models = [SubstitutionModel.random_gtr(p) for p in range(2)]
+    alphas = [0.8, 1.3]
+    return data, tree, lengths, models, alphas
+
+
+def make_team(setup, backend, workers=3, **kw):
+    data, tree, lengths, models, alphas = setup
+    return ParallelPLK(
+        data, tree, models, alphas, workers, backend=backend,
+        initial_lengths=lengths, **kw,
+    )
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestFailingWorker:
+    @pytest.mark.timeout(30)
+    def test_worker_exception_surfaces_not_deadlocks(self, setup, backend):
+        """An unknown command makes every WorkerState.execute raise; the
+        first failure must come back as WorkerError within one broadcast."""
+        with make_team(setup, backend) as team:
+            with pytest.raises(WorkerError) as exc_info:
+                team._broadcast(("explode",))
+            assert exc_info.value.rank == 0
+            assert isinstance(exc_info.value.original, ValueError)
+
+    @pytest.mark.timeout(30)
+    def test_team_survives_worker_exception(self, setup, backend):
+        """The barrier protocol completes, so the team stays usable."""
+        with make_team(setup, backend) as team:
+            before = team.loglikelihood(0)
+            with pytest.raises(WorkerError):
+                team._broadcast(("deriv", 12345, np.zeros(2), [0]))  # bad token
+            assert team.loglikelihood(0) == pytest.approx(before, abs=1e-10)
+
+    @pytest.mark.timeout(30)
+    def test_close_after_worker_exception(self, setup, backend):
+        team = make_team(setup, backend)
+        with pytest.raises(WorkerError):
+            team._broadcast(("explode",))
+        team.close()  # must return promptly, not hang on a barrier
+
+
+class TestDeadProcessWorker:
+    @pytest.mark.timeout(30)
+    def test_dead_worker_raises_and_terminates_team(self, setup):
+        with make_team(setup, "processes") as team:
+            victim = team._team.procs[1]
+            victim.terminate()
+            victim.join(timeout=10)
+            with pytest.raises(WorkerError, match="worker"):
+                team.loglikelihood(0)
+            # no leaked children: every process is down after the failure
+            for proc in team._team.procs:
+                proc.join(timeout=10)
+                assert not proc.is_alive()
+            with pytest.raises(RuntimeError, match="closed"):
+                team.loglikelihood(0)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestIdempotentClose:
+    @pytest.mark.timeout(30)
+    def test_double_close(self, setup, backend):
+        team = make_team(setup, backend)
+        team.loglikelihood(0)
+        team.close()
+        team.close()  # second close must be a no-op, not a barrier wait
+
+    @pytest.mark.timeout(30)
+    def test_context_manager_plus_explicit_close(self, setup, backend):
+        with make_team(setup, backend) as team:
+            team.loglikelihood(0)
+            team.close()
+        # __exit__ called close() again — reaching here means no deadlock
+
+    @pytest.mark.timeout(30)
+    def test_broadcast_after_close_raises(self, setup, backend):
+        team = make_team(setup, backend)
+        team.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            team.loglikelihood(0)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestIdleWorkersEndToEnd:
+    @pytest.mark.timeout(60)
+    def test_partition_shorter_than_team(self, setup, backend):
+        """The paper's m'_p < T case on both real backends: a partition
+        with fewer patterns than workers leaves workers idle but the full
+        old/new optimization pipeline stays correct."""
+        _, tree, lengths, models, alphas = setup
+        rng = np.random.default_rng(43)
+        tiny_aln = simulate_alignment(
+            tree, lengths, models[0], 1.0, 8, rng
+        )
+        tiny = PartitionedAlignment(tiny_aln, uniform_scheme(8, 4))
+        assert max(tiny.pattern_counts()) < 6  # fewer patterns than workers
+        seq = PartitionedEngine(
+            tiny, tree.copy(), models=models, alphas=alphas,
+            initial_lengths=lengths,
+        )
+        ref = seq.loglikelihood(0)
+        out = {}
+        for strategy in ("old", "new"):
+            with ParallelPLK(
+                tiny, tree, models, alphas, 6, backend=backend,
+                initial_lengths=lengths,
+            ) as team:
+                assert team.loglikelihood(0) == pytest.approx(ref, abs=1e-8)
+                out[strategy] = team.optimize_branch(
+                    0, strategy, z0=np.full(2, lengths[0])
+                )
+        np.testing.assert_allclose(out["old"], out["new"], atol=1e-4)
+
+    @pytest.mark.timeout(60)
+    def test_idle_workers_show_zero_busy_in_profile(self, setup, backend):
+        """Workers owning zero patterns appear as (near-)idle lanes in the
+        measured profile — the instrument sees what the paper describes."""
+        from repro.perf import Profiler
+
+        _, tree, lengths, models, alphas = setup
+        rng = np.random.default_rng(44)
+        tiny_aln = simulate_alignment(tree, lengths, models[0], 1.0, 6, rng)
+        tiny = PartitionedAlignment(tiny_aln, uniform_scheme(6, 3))
+        profiler = Profiler()
+        with ParallelPLK(
+            tiny, tree, models, alphas, 6, backend=backend,
+            initial_lengths=lengths, profiler=profiler,
+        ) as team:
+            team.loglikelihood(0)
+        profile = profiler.profile()
+        busy = profile.busy_seconds
+        # the busiest lane works strictly more than the idlest
+        assert busy.max() > busy.min()
+        assert profile.load_balance < 1.0
