@@ -13,6 +13,7 @@ import numpy as np
 import pytest
 
 from conftest import write_result
+from repro.obs import summarize_profiles
 from repro.parallel import ParallelPLK
 from repro.perf import Profiler, compare_strategies
 from repro.plk import PartitionedAlignment, SubstitutionModel, uniform_scheme
@@ -111,8 +112,13 @@ def test_real1_measured_profile(setup, results_dir):
             team.optimize_branches(list(range(6)), strategy)
         profiles[strategy] = profiler.profile()
 
+    # Raw per-record dump: local inspection / `repro timeline --profile`
+    # only (gitignored).  The compact summary is what gets committed.
     (results_dir / "real1_profile.json").write_text(json.dumps(
         {s: p.to_dict() for s, p in profiles.items()}, indent=2
+    ) + "\n")
+    (results_dir / "real1_profile_summary.json").write_text(json.dumps(
+        summarize_profiles(profiles), indent=2, sort_keys=True
     ) + "\n")
     comparison = compare_strategies(profiles["old"], profiles["new"])
     write_result(

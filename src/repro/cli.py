@@ -16,6 +16,16 @@ Subcommands
     :mod:`repro.perf` profiler attached and report each run's measured
     per-worker busy/idle decomposition (the hardware analogue of what
     ``replay`` predicts).
+``timeline``
+    Run one profiled + traced workload (or load a saved profile JSON) and
+    export it as a Chrome trace-event timeline — one lane per worker plus
+    the master command lane, loadable in Perfetto / ``chrome://tracing``
+    — alongside an ASCII rendering, the metrics snapshot and the
+    per-partition convergence telemetry.
+``perfcheck``
+    Re-run the committed perf-smoke workload and diff its structural and
+    relative-performance summary against the committed baseline
+    (:mod:`repro.obs.regression`); non-zero exit on regression.
 
 Examples
 --------
@@ -28,7 +38,10 @@ Examples
     python -m repro replay --dataset d50_50000_p1000 --analysis search \
         --candidates 60
     python -m repro profile --workers 4 --backend processes \
-        --partitions 10 --out profile.json
+        --partitions 10 --warmup --out profile.json
+    python -m repro timeline --workers 4 --backend processes \
+        --out timeline_trace.json
+    python -m repro perfcheck --baseline benchmarks/baselines/perf_smoke.json
 """
 from __future__ import annotations
 
@@ -94,26 +107,98 @@ def build_parser() -> argparse.ArgumentParser:
     rep.add_argument("--distribution", choices=("cyclic", "block"),
                      default="cyclic")
 
+    def add_workload_args(p, workers_default: int = 4) -> None:
+        p.add_argument("--taxa", type=int, default=12)
+        p.add_argument("--sites", type=int, default=2_000)
+        p.add_argument("--partitions", type=int, default=10)
+        p.add_argument("--workers", type=int, default=workers_default)
+        p.add_argument("--backend", choices=("threads", "processes"),
+                       default="processes")
+        p.add_argument("--distribution", choices=("cyclic", "block"),
+                       default="cyclic")
+        p.add_argument("--edges", type=int, default=6,
+                       help="branches to optimize per strategy")
+        p.add_argument("--alpha", action="store_true",
+                       help="also profile Gamma-shape (Brent) optimization")
+        p.add_argument("--seed", type=int, default=42)
+
     prof = sub.add_parser(
         "profile",
         help="measure oldPAR vs newPAR on the real parallel backends",
     )
-    prof.add_argument("--taxa", type=int, default=12)
-    prof.add_argument("--sites", type=int, default=2_000)
-    prof.add_argument("--partitions", type=int, default=10)
-    prof.add_argument("--workers", type=int, default=4)
-    prof.add_argument("--backend", choices=("threads", "processes"),
-                      default="processes")
-    prof.add_argument("--distribution", choices=("cyclic", "block"),
-                      default="cyclic")
-    prof.add_argument("--edges", type=int, default=6,
-                      help="branches to optimize per strategy")
-    prof.add_argument("--alpha", action="store_true",
-                      help="also profile Gamma-shape (Brent) optimization")
-    prof.add_argument("--seed", type=int, default=42)
+    add_workload_args(prof)
+    prof.add_argument("--warmup", action="store_true",
+                      help="run the workload once untimed first (worker "
+                      "start-up, allocator and cache warm-up), then reset "
+                      "the profiler and measure a second pass")
     prof.add_argument("--out", help="write both RunProfiles as JSON here")
 
+    tl = sub.add_parser(
+        "timeline",
+        help="export a run as a Chrome trace-event (Perfetto) timeline",
+    )
+    add_workload_args(tl)
+    tl.add_argument("--strategy", choices=("old", "new"), default="new")
+    tl.add_argument("--profile", dest="profile_json",
+                    help="render a saved profile JSON (from 'repro profile "
+                    "--out') instead of running a fresh workload")
+    tl.add_argument("--out", default="timeline_trace.json",
+                    help="Chrome trace-event JSON output path "
+                    "(default: %(default)s)")
+    tl.add_argument("--width", type=int, default=72,
+                    help="ASCII timeline width in columns")
+
+    chk = sub.add_parser(
+        "perfcheck",
+        help="run the perf-smoke workload and diff against the committed "
+        "baseline (non-zero exit on regression)",
+    )
+    chk.add_argument("--baseline", default="benchmarks/baselines/perf_smoke.json",
+                     help="baseline summary path (default: %(default)s)")
+    chk.add_argument("--update", action="store_true",
+                     help="freeze the fresh measurements as the new baseline "
+                     "instead of checking against it")
+    chk.add_argument("--out-trace",
+                     help="also write the newPAR run's Chrome trace-event "
+                     "JSON here (CI artifact)")
+    add_workload_args(chk, workers_default=2)
+    chk.set_defaults(taxa=8, sites=400, partitions=6, edges=4, backend="threads")
+
     return parser
+
+
+def _validate_workload(args: argparse.Namespace) -> str | None:
+    """Sanity-check the shared profile/timeline/perfcheck workload flags;
+    returns an error string (for stderr) or None."""
+    if min(args.partitions, args.workers, args.edges, args.sites) < 1:
+        return "--partitions, --workers, --edges and --sites must be >= 1"
+    if args.taxa < 4:
+        return "--taxa must be >= 4 (smallest unrooted binary tree)"
+    n_edges = 2 * args.taxa - 3
+    if args.edges > n_edges:
+        return (f"--edges {args.edges} exceeds the {n_edges} branches of a "
+                f"{args.taxa}-taxon unrooted tree")
+    return None
+
+
+def _build_workload(args: argparse.Namespace):
+    """Simulate the shared profiling workload; returns
+    ``(data, tree, lengths, models, alphas, edges)``."""
+    from .plk import PartitionedAlignment, SubstitutionModel, uniform_scheme
+    from .seqgen import random_topology_with_lengths, simulate_alignment
+
+    rng = np.random.default_rng(args.seed)
+    tree, lengths = random_topology_with_lengths(args.taxa, rng)
+    part_len = max(args.sites // args.partitions, 1)
+    sites = part_len * args.partitions
+    aln = simulate_alignment(
+        tree, lengths, SubstitutionModel.random_gtr(0), 1.0, sites, rng
+    )
+    data = PartitionedAlignment(aln, uniform_scheme(sites, part_len))
+    models = [SubstitutionModel.random_gtr(p) for p in range(data.n_partitions)]
+    alphas = [1.0] * data.n_partitions
+    edges = list(range(args.edges))
+    return data, tree, lengths, models, alphas, edges
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
@@ -288,54 +373,62 @@ def _cmd_replay(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_profile(args: argparse.Namespace) -> int:
-    import json
-
+def _run_profiled_strategies(
+    args: argparse.Namespace, warmup: bool = False
+) -> dict:
+    """Run the shared workload under both strategies with a profiler
+    attached; returns ``{"old": RunProfile, "new": RunProfile}``."""
     from .parallel import ParallelPLK
-    from .perf import Profiler, compare_strategies
-    from .plk import PartitionedAlignment, SubstitutionModel, uniform_scheme
-    from .seqgen import random_topology_with_lengths, simulate_alignment
+    from .perf import Profiler
 
-    if min(args.partitions, args.workers, args.edges, args.sites) < 1:
-        print("error: --partitions, --workers, --edges and --sites must be >= 1",
-              file=sys.stderr)
-        return 2
-
-    rng = np.random.default_rng(args.seed)
-    tree, lengths = random_topology_with_lengths(args.taxa, rng)
-    part_len = max(args.sites // args.partitions, 1)
-    sites = part_len * args.partitions
-    aln = simulate_alignment(
-        tree, lengths, SubstitutionModel.random_gtr(0), 1.0, sites, rng
-    )
-    data = PartitionedAlignment(aln, uniform_scheme(sites, part_len))
-    models = [SubstitutionModel.random_gtr(p) for p in range(data.n_partitions)]
-    alphas = [1.0] * data.n_partitions
-    edges = list(range(args.edges))
-    print(
-        f"profiling {data.n_partitions} partitions x ~{part_len} sites, "
-        f"{args.workers} {args.backend} workers, {len(edges)} branches"
-        + (", alpha" if args.alpha else "")
-    )
-
+    data, tree, lengths, models, alphas, edges = _build_workload(args)
     profiles = {}
     for strategy in ("old", "new"):
         profiler = Profiler(meta={
-            "strategy": strategy, "taxa": args.taxa, "sites": sites,
+            "strategy": strategy, "taxa": args.taxa, "sites": data.scheme.n_sites,
             "partitions": data.n_partitions, "edges": len(edges),
-            "seed": args.seed,
+            "seed": args.seed, "warmup": bool(warmup),
         })
         with ParallelPLK(
             data, tree, models, alphas, args.workers,
             backend=args.backend, distribution=args.distribution,
             initial_lengths=lengths, profiler=profiler,
         ) as team:
+            if warmup:
+                # Untimed pass absorbs worker start-up / allocator / cache
+                # warm-up; the measured pass then starts from the warmed
+                # (partially optimized) state.
+                team.optimize_branches(edges, strategy)
+                if args.alpha:
+                    team.optimize_alpha(strategy)
+                profiler.reset()
             team.optimize_branches(edges, strategy)
             if args.alpha:
                 team.optimize_alpha(strategy)
         profiles[strategy] = profiler.profile()
-        print(f"\n{strategy}PAR\n{profiles[strategy].summary()}")
+    return profiles
 
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    import json
+
+    from .perf import compare_strategies
+
+    error = _validate_workload(args)
+    if error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    print(
+        f"profiling {args.partitions} partitions x "
+        f"~{max(args.sites // args.partitions, 1)} sites, "
+        f"{args.workers} {args.backend} workers, {args.edges} branches"
+        + (", alpha" if args.alpha else "")
+        + (", warmup pass" if args.warmup else "")
+    )
+    profiles = _run_profiled_strategies(args, warmup=args.warmup)
+    for strategy in ("old", "new"):
+        print(f"\n{strategy}PAR\n{profiles[strategy].summary()}")
     print("\n" + compare_strategies(profiles["old"], profiles["new"]).summary())
 
     if args.out:
@@ -348,6 +441,136 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_timeline(args: argparse.Namespace) -> int:
+    import json
+
+    from .obs import (
+        ConvergenceTelemetry,
+        MetricsRegistry,
+        Tracer,
+        ascii_timeline,
+        profile_ascii_timeline,
+        profile_to_chrome,
+        tracer_to_chrome,
+        validate_chrome_trace,
+        write_chrome_trace,
+    )
+
+    if args.profile_json:
+        from .perf import RunProfile
+
+        payload = json.loads(Path(args.profile_json).read_text())
+        if "records" in payload:
+            profiles = {payload.get("meta", {}).get("strategy", "run"):
+                        RunProfile.from_dict(payload)}
+        else:
+            profiles = {k: RunProfile.from_dict(v) for k, v in payload.items()}
+        key = args.strategy if args.strategy in profiles else next(iter(profiles))
+        profile = profiles[key]
+        print(f"timeline of {args.profile_json} [{key}]: "
+              f"{profile.n_regions} regions, {profile.n_workers} "
+              f"{profile.backend} workers")
+        events = profile_to_chrome(profile)
+        print(profile_ascii_timeline(profile, width=args.width))
+    else:
+        from .parallel import ParallelPLK
+        from .perf import Profiler
+
+        error = _validate_workload(args)
+        if error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        data, tree, lengths, models, alphas, edges = _build_workload(args)
+        tracer = Tracer()
+        metrics = MetricsRegistry()
+        telemetry = ConvergenceTelemetry()
+        profiler = Profiler(meta={"strategy": args.strategy})
+        print(
+            f"tracing {data.n_partitions} partitions, {args.workers} "
+            f"{args.backend} workers, {len(edges)} branches, "
+            f"strategy={args.strategy}"
+        )
+        with ParallelPLK(
+            data, tree, models, alphas, args.workers,
+            backend=args.backend, distribution=args.distribution,
+            initial_lengths=lengths, profiler=profiler,
+            tracer=tracer, metrics=metrics, telemetry=telemetry,
+        ) as team:
+            team.optimize_branches(edges, args.strategy)
+            if args.alpha:
+                team.optimize_alpha(args.strategy)
+        events = tracer_to_chrome(tracer)
+        print(ascii_timeline(tracer, width=args.width))
+        snap = metrics.snapshot()
+        counts = {
+            name.removeprefix("broadcasts."): int(inst["value"])
+            for name, inst in snap.items()
+            if name.startswith("broadcasts.") and name != "broadcasts.total"
+        }
+        total = int(snap.get("broadcasts.total", {}).get("value", 0))
+        print(f"broadcasts: {total} total  "
+              + "  ".join(f"{k}={v}" for k, v in sorted(counts.items())))
+        waits = snap.get("barrier_wait_seconds")
+        if waits and waits["count"]:
+            print(f"barrier wait: n={waits['count']} "
+                  f"mean={waits['mean']*1e6:.1f}us max={waits['max']*1e6:.1f}us")
+        print(telemetry.summary())
+
+    validate_chrome_trace(events)
+    out = write_chrome_trace(args.out, events)
+    lanes = sorted({ev["tid"] for ev in events if ev.get("ph") == "X"})
+    print(f"wrote {out}: {len(events)} events across {len(lanes)} lanes "
+          "(Perfetto / chrome://tracing compatible)")
+    return 0
+
+
+def _cmd_perfcheck(args: argparse.Namespace) -> int:
+    from .obs import check_profiles, load_baseline, write_baseline
+
+    baseline_path = Path(args.baseline)
+    baseline = None
+    if not args.update:
+        if not baseline_path.exists():
+            print(f"error: baseline {baseline_path} not found "
+                  "(run with --update to create it)", file=sys.stderr)
+            return 2
+        baseline = load_baseline(baseline_path)
+        # Re-run exactly the workload the baseline froze; CLI workload
+        # flags only shape a --update run.
+        for key, value in baseline.get("workload", {}).items():
+            setattr(args, key, value)
+
+    error = _validate_workload(args)
+    if error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    print(f"perf-smoke workload: {args.partitions} partitions, "
+          f"{args.workers} {args.backend} workers, {args.edges} branches"
+          + (", alpha" if args.alpha else ""))
+    profiles = _run_profiled_strategies(args, warmup=True)
+
+    if args.out_trace:
+        from .obs import profile_to_chrome, write_chrome_trace
+
+        out = write_chrome_trace(args.out_trace, profile_to_chrome(profiles["new"]))
+        print(f"wrote {out}")
+
+    if args.update:
+        workload = {
+            key: getattr(args, key)
+            for key in ("taxa", "sites", "partitions", "workers", "backend",
+                        "distribution", "edges", "alpha", "seed")
+        }
+        write_baseline(baseline_path, profiles, workload)
+        print(f"froze baseline {baseline_path}")
+        return 0
+
+    report = check_profiles(profiles, baseline)
+    print(report.summary())
+    return 0 if report.ok else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
@@ -355,6 +578,8 @@ def main(argv: list[str] | None = None) -> int:
         "analyze": _cmd_analyze,
         "replay": _cmd_replay,
         "profile": _cmd_profile,
+        "timeline": _cmd_timeline,
+        "perfcheck": _cmd_perfcheck,
     }
     return handlers[args.command](args)
 

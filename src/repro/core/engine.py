@@ -15,6 +15,9 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..obs.convergence import NullTelemetry
+from ..obs.metrics import NullMetrics
+from ..obs.tracer import NullTracer
 from ..plk.likelihood import BranchWorkspace, PartitionLikelihood
 from ..plk.models import SubstitutionModel
 from ..plk.partition import PartitionedAlignment
@@ -55,6 +58,17 @@ class PartitionedEngine:
         ``(n_edges,)`` starting branch lengths for every partition.
     recorder:
         Kernel-op listener (default: discard).
+    tracer:
+        A :class:`repro.obs.Tracer` collecting timestamped spans for every
+        parallel region and optimizer phase (default: the zero-overhead
+        :class:`repro.obs.NullTracer`).
+    metrics:
+        A :class:`repro.obs.MetricsRegistry` for run counters/histograms
+        (default: discard).
+    telemetry:
+        A :class:`repro.obs.ConvergenceTelemetry` recording each batched
+        optimizer's per-partition convergence vector per iteration
+        (default: discard).
     """
 
     def __init__(
@@ -67,6 +81,9 @@ class PartitionedEngine:
         initial_lengths: np.ndarray | None = None,
         recorder: TraceRecorder | NullRecorder | None = None,
         categories: int = 4,
+        tracer=None,
+        metrics=None,
+        telemetry=None,
     ):
         if branch_mode not in BRANCH_MODES:
             raise ValueError(f"branch_mode must be one of {BRANCH_MODES}")
@@ -74,6 +91,9 @@ class PartitionedEngine:
         self.tree = tree
         self.branch_mode = branch_mode
         self.recorder = recorder if recorder is not None else NullRecorder()
+        self.tracer = tracer if tracer is not None else NullTracer()
+        self.metrics = metrics if metrics is not None else NullMetrics()
+        self.telemetry = telemetry if telemetry is not None else NullTelemetry()
         if models is None:
             models = [
                 SubstitutionModel.jc69()

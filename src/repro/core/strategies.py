@@ -29,6 +29,7 @@ from contextlib import contextmanager
 
 import numpy as np
 
+from ..obs.metrics import ITERATION_BUCKETS
 from ..optimize.brent import BatchedBrent
 from ..optimize.newton import BatchedNewton, newton_optimize
 from .engine import PartitionedEngine
@@ -61,11 +62,28 @@ def _check_strategy(strategy: str) -> None:
 
 @contextmanager
 def _region(engine: PartitionedEngine, label: str):
+    """Bracket one parallel region: recorded for the simulator and — when
+    a tracer is attached — timestamped as one span (each batched optimizer
+    iteration evaluates through exactly one region, so these spans ARE the
+    per-iteration timeline)."""
     engine.recorder.begin_region(label)
     try:
-        yield
+        if engine.tracer.enabled:
+            with engine.tracer.span(label, cat="region"):
+                yield
+        else:
+            yield
     finally:
         engine.recorder.end_region()
+
+
+def _observe_iterations(engine: PartitionedEngine, name: str, iterations) -> None:
+    """Publish a batched optimizer's per-partition iteration counts."""
+    if engine.metrics.enabled:
+        hist = engine.metrics.histogram(f"iterations.{name}", bounds=ITERATION_BUCKETS)
+        for count in np.asarray(iterations, dtype=np.int64).ravel():
+            hist.observe(float(count))
+        engine.metrics.counter(f"optimizer_calls.{name}").inc()
 
 
 def smoothing_edge_order(tree) -> list[int]:
@@ -188,7 +206,9 @@ def optimize_branch(
                     )
             return d1, d2
 
-        res = solver.run(batched_fn, z0)
+        res = solver.run(
+            batched_fn, z0, observer=engine.telemetry.start("nr_branch", n_parts)
+        )
         # Monotonicity guard (one batched evaluation region): keep each
         # partition's new length only where the likelihood improved.
         with _region(engine, "nr_new"):
@@ -199,6 +219,7 @@ def optimize_branch(
                     part.branch_loglikelihood(ws, float(z0[p]))
                 ):
                     part.set_branch_length(edge, float(res.z[p]))
+        _observe_iterations(engine, "nr_branch", res.iterations)
         return res.iterations
 
     # oldPAR: one partition at a time; every NR iteration is a command
@@ -278,9 +299,13 @@ def optimize_alpha(
                     out[p] = -engine.parts[p].loglikelihood(root_edge)
             return out
 
-        res = solver.run(batched_fn, guess=current)
+        res = solver.run(
+            batched_fn, guess=current,
+            observer=engine.telemetry.start("brent_alpha", n_parts),
+        )
         for p in range(n_parts):
             engine.parts[p].alpha = float(res.x[p])
+        _observe_iterations(engine, "brent_alpha", res.iterations)
         return res.iterations
 
     counts = np.zeros(n_parts, dtype=np.int64)
@@ -346,11 +371,15 @@ def optimize_rates(
                         out[p] = -engine.parts[p].loglikelihood(root_edge)
                 return out
 
-            res = solver.run(batched_fn, guess=current, mask=dna)
+            res = solver.run(
+                batched_fn, guess=current, mask=dna,
+                observer=engine.telemetry.start("brent_rate", n_parts),
+            )
             for p in np.flatnonzero(dna):
                 engine.parts[p].model = engine.parts[p].model.with_rate(
                     rate_idx, float(res.x[p])
                 )
+            _observe_iterations(engine, "brent_rate", res.iterations[dna])
             counts += np.where(dna, res.iterations, 0)
         else:
             for p in np.flatnonzero(dna):
@@ -410,9 +439,13 @@ def optimize_scalers(
                     out[p] = -engine.parts[p].loglikelihood(root_edge)
             return out
 
-        res = solver.run(batched_fn, guess=current)
+        res = solver.run(
+            batched_fn, guess=current,
+            observer=engine.telemetry.start("brent_scaler", n_parts),
+        )
         for p in range(n_parts):
             engine.set_scaler(p, float(res.x[p]))
+        _observe_iterations(engine, "brent_scaler", res.iterations)
         return res.iterations
 
     counts = np.zeros(n_parts, dtype=np.int64)
@@ -464,9 +497,13 @@ def optimize_pinv(
                     out[p] = -engine.parts[p].loglikelihood(root_edge)
             return out
 
-        res = solver.run(batched_fn, guess=current)
+        res = solver.run(
+            batched_fn, guess=current,
+            observer=engine.telemetry.start("brent_pinv", n_parts),
+        )
         for p in range(n_parts):
             engine.parts[p].pinv = float(res.x[p])
+        _observe_iterations(engine, "brent_pinv", res.iterations)
         return res.iterations
 
     counts = np.zeros(n_parts, dtype=np.int64)
@@ -539,9 +576,13 @@ def optimize_frequencies(
                         out[p] = -engine.parts[p].loglikelihood(root_edge)
                 return out
 
-            res = solver.run(batched_fn, guess=current, mask=eligible)
+            res = solver.run(
+                batched_fn, guess=current, mask=eligible,
+                observer=engine.telemetry.start("brent_freq", n_parts),
+            )
             for p in np.flatnonzero(eligible):
                 set_ratio(p, index, float(res.x[p]))
+            _observe_iterations(engine, "brent_freq", res.iterations[eligible])
             counts += np.where(eligible, res.iterations, 0)
         else:
             for p in np.flatnonzero(eligible):
@@ -582,19 +623,21 @@ def optimize_model(
     """
     _check_strategy(strategy)
     lnl = engine.loglikelihood()
-    for _ in range(max_rounds):
-        if include_rates:
-            optimize_rates(engine, strategy)
-        if include_frequencies:
-            optimize_frequencies(engine, strategy)
-        optimize_alpha(engine, strategy)
-        if include_invariant:
-            optimize_pinv(engine, strategy)
-        if engine.branch_mode == "proportional":
-            optimize_scalers(engine, strategy)
-        if include_branches:
-            optimize_branch_lengths(engine, strategy, passes=branch_passes)
-        new_lnl = engine.loglikelihood()
+    for round_idx in range(max_rounds):
+        with engine.tracer.span("opt_round", cat="optimizer",
+                                round=round_idx, strategy=strategy):
+            if include_rates:
+                optimize_rates(engine, strategy)
+            if include_frequencies:
+                optimize_frequencies(engine, strategy)
+            optimize_alpha(engine, strategy)
+            if include_invariant:
+                optimize_pinv(engine, strategy)
+            if engine.branch_mode == "proportional":
+                optimize_scalers(engine, strategy)
+            if include_branches:
+                optimize_branch_lengths(engine, strategy, passes=branch_passes)
+            new_lnl = engine.loglikelihood()
         if new_lnl - lnl < epsilon:
             lnl = max(new_lnl, lnl)
             break

@@ -207,7 +207,13 @@ class TraceRecorder:
 
 class NullRecorder:
     """A recorder that discards everything (used when only the numerical
-    result matters); also valid anywhere a TraceRecorder is expected."""
+    result matters); also valid anywhere a TraceRecorder is expected —
+    including code paths that finalize unconditionally: ``trace`` exists
+    (and stays empty) and :meth:`finalize` attaches geometry exactly like
+    :meth:`TraceRecorder.finalize`, so callers need no isinstance checks."""
+
+    def __init__(self) -> None:
+        self.trace = Trace()
 
     def begin_region(self, label: str = "") -> None:  # noqa: D102
         pass
@@ -226,3 +232,10 @@ class NullRecorder:
 
     def derivative(self, partition: int, patterns: int) -> None:  # noqa: D102
         pass
+
+    def finalize(self, pattern_counts: np.ndarray, states: np.ndarray, categories: int = 4) -> Trace:
+        """Attach dataset geometry to the (empty) trace and return it."""
+        self.trace.pattern_counts = np.asarray(pattern_counts, dtype=np.int64)
+        self.trace.states = np.asarray(states, dtype=np.int64)
+        self.trace.categories = categories
+        return self.trace

@@ -1,0 +1,69 @@
+"""Observability for analysis runs: span tracing, metrics, convergence
+telemetry, timeline export, and perf-regression checking.
+
+Four composable pieces, each with a zero-overhead null default (mirroring
+:class:`~repro.perf.profiler.NullProfiler`):
+
+* :class:`Tracer` / :class:`NullTracer` — timestamped spans for every
+  optimizer round, lock-step iteration, broadcast and SPR move, on a
+  master lane plus synthesized worker lanes;
+* :class:`MetricsRegistry` / :class:`NullMetrics` — thread-safe counters,
+  gauges and histograms (broadcasts by kind, barrier-wait distribution),
+  snapshotable to JSON;
+* :class:`ConvergenceTelemetry` / :class:`NullTelemetry` — the paper's
+  per-partition convergence boolean vector recorded per iteration;
+* exporters — Chrome trace-event JSON (loadable in Perfetto) and an ASCII
+  terminal timeline, from live traces, measured RunProfiles, or simulated
+  SimulationResults; plus baseline regression checks for CI.
+
+See the README's "Observability" section for a walkthrough and
+``python -m repro timeline --help`` for the CLI entry point.
+"""
+from .convergence import ConvergenceLog, ConvergenceTelemetry, NullTelemetry
+from .export import (
+    ascii_timeline,
+    profile_ascii_timeline,
+    profile_to_chrome,
+    simulation_to_chrome,
+    tracer_to_chrome,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry, NullMetrics
+from .regression import (
+    RegressionReport,
+    check_profiles,
+    load_baseline,
+    profile_summary,
+    summarize_profiles,
+    write_baseline,
+)
+from .tracer import MASTER_LANE, NullTracer, Span, Tracer
+
+__all__ = [
+    "MASTER_LANE",
+    "Span",
+    "Tracer",
+    "NullTracer",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullMetrics",
+    "ConvergenceLog",
+    "ConvergenceTelemetry",
+    "NullTelemetry",
+    "tracer_to_chrome",
+    "profile_to_chrome",
+    "simulation_to_chrome",
+    "write_chrome_trace",
+    "validate_chrome_trace",
+    "ascii_timeline",
+    "profile_ascii_timeline",
+    "RegressionReport",
+    "check_profiles",
+    "load_baseline",
+    "profile_summary",
+    "summarize_profiles",
+    "write_baseline",
+]

@@ -1,0 +1,167 @@
+"""Convergence telemetry: the paper's boolean vector, made observable.
+
+newPAR's whole mechanism (paper Section III) is the per-partition
+convergence mask: every lock-step Brent/Newton iteration evaluates only
+the still-unconverged partitions, and per-barrier work shrinks as lanes
+drop out at different iteration counts.  :class:`ConvergenceLog` records
+that mask *per iteration*, so a run leaves a machine-readable record of
+exactly when each partition converged — the raw material behind paper
+Figs. 3–6.
+
+The batched optimizers (:class:`repro.optimize.brent.BatchedBrent`,
+:class:`repro.optimize.newton.BatchedNewton`) accept any object with this
+``iteration(x, active)`` method as their ``observer``; the engines create
+one log per optimizer call through a :class:`ConvergenceTelemetry`
+collector (:class:`NullTelemetry` being the discard-everything default).
+
+Invariants (asserted by the test suite):
+
+* monotonicity — once a lane leaves the active mask it never returns;
+* accounting — each lane's per-round activity flags sum to exactly the
+  iteration count the optimizer reports for it.
+"""
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["ConvergenceLog", "ConvergenceTelemetry", "NullTelemetry"]
+
+
+@dataclass
+class ConvergenceLog:
+    """Per-iteration activity masks of one batched optimizer run.
+
+    ``rounds[i][p]`` is True iff partition (lane) ``p`` was evaluated in
+    lock-step iteration ``i``.
+    """
+
+    name: str
+    n_lanes: int
+    rounds: list[tuple[bool, ...]] = field(default_factory=list)
+
+    # -- observer protocol (called by the batched optimizers) --------------
+
+    def iteration(self, x: np.ndarray, active: np.ndarray) -> None:
+        """Record one lock-step round's active mask (``x`` is the batch of
+        trial points; unused here but part of the observer signature so
+        richer observers can log trajectories)."""
+        mask = tuple(bool(a) for a in np.asarray(active, dtype=bool))
+        if len(mask) != self.n_lanes:
+            raise ValueError(
+                f"{self.name}: expected {self.n_lanes} lanes, got {len(mask)}"
+            )
+        self.rounds.append(mask)
+
+    # -- derived views -----------------------------------------------------
+
+    @property
+    def n_rounds(self) -> int:
+        return len(self.rounds)
+
+    def matrix(self) -> np.ndarray:
+        """(rounds, lanes) boolean activity matrix."""
+        if not self.rounds:
+            return np.zeros((0, self.n_lanes), dtype=bool)
+        return np.asarray(self.rounds, dtype=bool)
+
+    def iterations_per_lane(self) -> np.ndarray:
+        """(lanes,) iteration counts — per-lane column sums of the
+        activity matrix.  Matches the optimizer's reported ``iterations``
+        exactly (asserted in tests)."""
+        return self.matrix().sum(axis=0).astype(np.int64)
+
+    def dropout_rounds(self) -> np.ndarray:
+        """(lanes,) the 1-based round after which each lane was retired
+        (== its iteration count); 0 for lanes never active."""
+        return self.iterations_per_lane()
+
+    def active_per_round(self) -> np.ndarray:
+        """(rounds,) how many lanes each barrier's work spanned — the
+        per-barrier width whose decay is the paper's Figs. 3–6 story."""
+        return self.matrix().sum(axis=1).astype(np.int64)
+
+    def is_monotonic(self) -> bool:
+        """True iff no lane reactivates after leaving the active mask."""
+        m = self.matrix()
+        if m.shape[0] < 2:
+            return True
+        # activation after deactivation == False->True transition downward
+        return not np.any(~m[:-1] & m[1:])
+
+    # -- serialization -----------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "n_lanes": self.n_lanes,
+            "rounds": [[int(b) for b in mask] for mask in self.rounds],
+            "iterations_per_lane": [int(i) for i in self.iterations_per_lane()],
+            "active_per_round": [int(a) for a in self.active_per_round()],
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "ConvergenceLog":
+        log = cls(name=d["name"], n_lanes=int(d["n_lanes"]))
+        log.rounds = [tuple(bool(b) for b in mask) for mask in d["rounds"]]
+        return log
+
+
+class NullTelemetry:
+    """Discards everything; the default.  ``start`` returns ``None`` so
+    the optimizers receive no observer and skip all recording."""
+
+    enabled = False
+
+    def start(self, name: str, n_lanes: int) -> None:
+        return None
+
+
+class ConvergenceTelemetry:
+    """Collects one :class:`ConvergenceLog` per batched optimizer call."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.logs: list[ConvergenceLog] = []
+
+    def start(self, name: str, n_lanes: int) -> ConvergenceLog:
+        """New log registered under ``name`` (names repeat across calls —
+        e.g. one ``nr_branch`` log per branch per smoothing pass)."""
+        log = ConvergenceLog(name=name, n_lanes=n_lanes)
+        self.logs.append(log)
+        return log
+
+    def by_name(self, name: str) -> list[ConvergenceLog]:
+        return [log for log in self.logs if log.name == name]
+
+    def total_iterations(self) -> np.ndarray | None:
+        """Summed per-lane iteration counts across all logs (None when
+        empty or lane counts disagree)."""
+        if not self.logs:
+            return None
+        lanes = {log.n_lanes for log in self.logs}
+        if len(lanes) != 1:
+            return None
+        total = np.zeros(lanes.pop(), dtype=np.int64)
+        for log in self.logs:
+            total += log.iterations_per_lane()
+        return total
+
+    def summary(self) -> str:
+        lines = [f"convergence telemetry: {len(self.logs)} optimizer runs"]
+        for log in self.logs:
+            iters = log.iterations_per_lane()
+            lines.append(
+                f"  {log.name}: {log.n_rounds} rounds, "
+                f"iterations/lane {iters.tolist()}"
+            )
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        return {"logs": [log.to_dict() for log in self.logs]}
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)

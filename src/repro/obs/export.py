@@ -1,0 +1,308 @@
+"""Timeline exporters: Chrome trace-event JSON (Perfetto) and ASCII.
+
+Three sources feed the same timeline shape — one *master* lane (the
+command stream) plus one lane per worker:
+
+* a live :class:`~repro.obs.tracer.Tracer` (real timestamps; the parallel
+  backends synthesize worker busy spans from measured execute seconds);
+* a measured :class:`~repro.perf.profile.RunProfile` (no absolute
+  timestamps are stored, so commands are laid back to back — each record's
+  wall time on the master lane, each worker's busy seconds inside it);
+* a simulated :class:`~repro.simmachine.simulator.SimulationResult`
+  (aggregate decomposition only: per-thread busy/idle blocks).
+
+The Chrome trace-event format is the stable subset Perfetto and
+``chrome://tracing`` both load: complete events (``"ph": "X"``) with
+microsecond ``ts``/``dur``, plus ``process_name`` / ``thread_name`` /
+``thread_sort_index`` metadata so lanes are labelled and ordered.
+"""
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from .tracer import MASTER_LANE, Span, Tracer
+
+__all__ = [
+    "tracer_to_chrome",
+    "profile_to_chrome",
+    "simulation_to_chrome",
+    "write_chrome_trace",
+    "validate_chrome_trace",
+    "ascii_timeline",
+    "profile_ascii_timeline",
+]
+
+_PID = 1
+_US = 1e6  # seconds -> microseconds
+
+#: Region-kind -> single letter used by the ASCII master lane.
+_KIND_LETTERS = {
+    "newview": "N",
+    "sumtable": "S",
+    "derivative": "D",
+    "evaluate": "E",
+    "control": "c",
+}
+
+
+def _metadata_events(lanes: list[int], lane_names: dict[int, str] | None = None) -> list[dict]:
+    names = lane_names or {}
+    events = [{
+        "ph": "M", "pid": _PID, "tid": MASTER_LANE, "name": "process_name",
+        "args": {"name": "repro"},
+    }]
+    for lane in lanes:
+        default = "master" if lane == MASTER_LANE else f"worker {lane - 1}"
+        events.append({
+            "ph": "M", "pid": _PID, "tid": lane, "name": "thread_name",
+            "args": {"name": names.get(lane, default)},
+        })
+        events.append({
+            "ph": "M", "pid": _PID, "tid": lane, "name": "thread_sort_index",
+            "args": {"sort_index": lane},
+        })
+    return events
+
+
+def _span_event(span: Span) -> dict:
+    event = {
+        "name": span.name,
+        "cat": span.cat or "span",
+        "ph": "X",
+        "ts": span.start * _US,
+        "dur": span.duration * _US,
+        "pid": _PID,
+        "tid": span.lane,
+    }
+    if span.args:
+        event["args"] = dict(span.args)
+    return event
+
+
+def tracer_to_chrome(tracer: Tracer) -> list[dict]:
+    """All spans and instant markers of a live trace as Chrome events."""
+    events = _metadata_events(tracer.lanes() or [MASTER_LANE])
+    for span in sorted(tracer.spans, key=lambda s: (s.start, s.lane)):
+        events.append(_span_event(span))
+    for mark in tracer.instants:
+        events.append({
+            "name": mark.name, "cat": mark.cat or "instant", "ph": "i",
+            "ts": mark.start * _US, "pid": _PID, "tid": mark.lane,
+            "s": "t", "args": dict(mark.args),
+        })
+    return events
+
+
+def profile_to_chrome(profile) -> list[dict]:
+    """A measured :class:`~repro.perf.profile.RunProfile` as Chrome events.
+
+    Records carry durations, not timestamps, so the timeline is
+    *reconstructed*: command ``i`` starts where command ``i-1``'s wall
+    time ended.  Worker ``w``'s busy span sits at the start of its
+    command; the gap to the command's end is its measured barrier wait.
+    """
+    lanes = [MASTER_LANE] + [w + 1 for w in range(profile.n_workers)]
+    events = _metadata_events(lanes)
+    cursor = 0.0
+    for rec in profile.records:
+        events.append({
+            "name": rec.op, "cat": rec.kind, "ph": "X",
+            "ts": cursor * _US, "dur": rec.wall * _US,
+            "pid": _PID, "tid": MASTER_LANE,
+            "args": {"span": rec.span, "sync": rec.sync},
+        })
+        for w, busy in enumerate(rec.busy):
+            if busy > 0.0:
+                events.append({
+                    "name": rec.op, "cat": rec.kind, "ph": "X",
+                    "ts": cursor * _US, "dur": busy * _US,
+                    "pid": _PID, "tid": w + 1,
+                    "args": {"idle": rec.idle[w]},
+                })
+        cursor += rec.wall
+    return events
+
+
+def simulation_to_chrome(result) -> list[dict]:
+    """A :class:`~repro.simmachine.simulator.SimulationResult` as Chrome
+    events.  The simulator reports aggregate per-thread totals, so each
+    thread lane shows one busy block followed by one idle block, and the
+    master lane shows the makespan split into compute vs synchronization."""
+    lanes = [MASTER_LANE] + [t + 1 for t in range(result.n_threads)]
+    names = {MASTER_LANE: f"master ({result.machine})"}
+    events = _metadata_events(lanes, names)
+    compute = max(result.total_seconds - result.sync_seconds, 0.0)
+    events.append({
+        "name": "compute", "cat": "summary", "ph": "X",
+        "ts": 0.0, "dur": compute * _US, "pid": _PID, "tid": MASTER_LANE,
+        "args": {"n_regions": result.n_regions},
+    })
+    events.append({
+        "name": "sync", "cat": "summary", "ph": "X",
+        "ts": compute * _US, "dur": result.sync_seconds * _US,
+        "pid": _PID, "tid": MASTER_LANE,
+        "args": {"distribution": result.distribution},
+    })
+    for t in range(result.n_threads):
+        busy = float(result.busy_seconds[t])
+        idle = float(result.idle_seconds[t])
+        events.append({
+            "name": "busy", "cat": "summary", "ph": "X",
+            "ts": 0.0, "dur": busy * _US, "pid": _PID, "tid": t + 1,
+        })
+        if idle > 0.0:
+            events.append({
+                "name": "idle", "cat": "summary", "ph": "X",
+                "ts": busy * _US, "dur": idle * _US, "pid": _PID, "tid": t + 1,
+            })
+    return events
+
+
+def write_chrome_trace(path: str | Path, events: list[dict]) -> Path:
+    """Write events in the JSON object form Perfetto auto-detects."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {"traceEvents": events, "displayTimeUnit": "ms"}
+    path.write_text(json.dumps(payload) + "\n")
+    return path
+
+
+def validate_chrome_trace(payload: dict | list) -> list[dict]:
+    """Check the minimal schema Perfetto requires; returns the event list.
+
+    Accepts either the JSON-object form (``{"traceEvents": [...]}``) or a
+    bare event array.  Raises ``ValueError`` on the first violation.
+    """
+    events = payload.get("traceEvents") if isinstance(payload, dict) else payload
+    if not isinstance(events, list):
+        raise ValueError("traceEvents must be a list")
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            raise ValueError(f"event {i} is not an object")
+        if "ph" not in ev or "name" not in ev:
+            raise ValueError(f"event {i} lacks ph/name")
+        if ev["ph"] in ("X", "i", "B", "E") and "ts" not in ev:
+            raise ValueError(f"event {i} ({ev['ph']!r}) lacks ts")
+        if ev["ph"] == "X":
+            if "dur" not in ev:
+                raise ValueError(f"event {i} is ph=X without dur")
+            if float(ev["dur"]) < 0:
+                raise ValueError(f"event {i} has negative dur")
+    return events
+
+
+# ----------------------------------------------------------------------
+# ASCII timeline
+# ----------------------------------------------------------------------
+
+_SHADE = " .:=#"  # busy fraction 0 .. 1 in 5 steps
+
+
+def _bin_char(fraction: float) -> str:
+    idx = min(int(fraction * (len(_SHADE) - 1) + 0.5), len(_SHADE) - 1)
+    if fraction > 0.0:
+        idx = max(idx, 1)  # any work at all is visible
+    return _SHADE[idx]
+
+
+def profile_ascii_timeline(profile, width: int = 72) -> str:
+    """Render a :class:`RunProfile` as a terminal timeline.
+
+    The master row letters each time bin by its dominant region kind
+    (N/S/D/E/c); each worker row shades its bins by busy fraction
+    (`` .:=#``), so oldPAR's starved barriers appear as pale stripes.
+    """
+    starts, kinds = [], []
+    cursor = 0.0
+    for rec in profile.records:
+        starts.append(cursor)
+        kinds.append(rec.kind)
+        cursor += rec.wall
+    total = cursor
+    spans = [
+        [(starts[i], starts[i] + rec.busy[w]) for i, rec in enumerate(profile.records)]
+        for w in range(profile.n_workers)
+    ]
+    return _render_ascii(
+        total, kinds, starts,
+        [f"worker {w}" for w in range(profile.n_workers)], spans,
+        [rec.wall for rec in profile.records], width,
+    )
+
+
+def ascii_timeline(tracer: Tracer, width: int = 72) -> str:
+    """Render a live trace's lanes (master commands + synthesized worker
+    busy spans) as a terminal timeline."""
+    master = sorted(
+        (s for s in tracer.spans if s.lane == MASTER_LANE and s.cat in _KIND_LETTERS),
+        key=lambda s: s.start,
+    )
+    if not master:
+        master = sorted(
+            (s for s in tracer.spans if s.lane == MASTER_LANE), key=lambda s: s.start
+        )
+    if not master:
+        return "(no spans recorded)"
+    total = max(s.end for s in tracer.spans)
+    worker_lanes = [lane for lane in tracer.lanes() if lane != MASTER_LANE]
+    spans = [
+        [(s.start, s.end) for s in tracer.spans if s.lane == lane]
+        for lane in worker_lanes
+    ]
+    return _render_ascii(
+        total, [s.cat for s in master], [s.start for s in master],
+        [f"worker {lane - 1}" for lane in worker_lanes], spans,
+        [s.duration for s in master], width,
+    )
+
+
+def _render_ascii(
+    total: float,
+    master_kinds: list[str],
+    master_starts: list[float],
+    worker_names: list[str],
+    worker_spans: list[list[tuple[float, float]]],
+    master_durs: list[float],
+    width: int,
+) -> str:
+    if total <= 0.0 or not master_kinds:
+        return "(empty timeline)"
+    width = max(int(width), 8)
+    dt = total / width
+    edges = [i * dt for i in range(width + 1)]
+
+    def overlap(lo: float, hi: float, a: float, b: float) -> float:
+        return max(0.0, min(hi, b) - max(lo, a))
+
+    label_w = max([len(n) for n in worker_names] + [len("master")])
+    master_row = []
+    for lo, hi in zip(edges[:-1], edges[1:]):
+        weights: dict[str, float] = {}
+        for kind, start, dur in zip(master_kinds, master_starts, master_durs):
+            o = overlap(lo, hi, start, start + dur)
+            if o > 0.0:
+                weights[kind] = weights.get(kind, 0.0) + o
+        if not weights:
+            master_row.append(" ")
+        else:
+            top = max(weights, key=lambda k: weights[k])
+            master_row.append(_KIND_LETTERS.get(top, "?"))
+    lines = [
+        f"{'master':>{label_w}} |{''.join(master_row)}|",
+    ]
+    for name, spans in zip(worker_names, worker_spans):
+        row = []
+        for lo, hi in zip(edges[:-1], edges[1:]):
+            busy = sum(overlap(lo, hi, a, b) for a, b in spans)
+            row.append(_bin_char(min(busy / dt, 1.0)))
+        lines.append(f"{name:>{label_w}} |{''.join(row)}|")
+    lines.append(
+        f"{'':>{label_w}}  0{'s':<{max(width - len(f'{total:.3f}s') - 1, 1)}}"
+        f"{total:.3f}s"
+    )
+    lines.append(
+        f"{'':>{label_w}}  master: N=newview S=sumtable D=derivative "
+        f"E=evaluate c=control; workers: busy fraction '{_SHADE}'"
+    )
+    return "\n".join(lines)

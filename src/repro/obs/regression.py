@@ -1,0 +1,217 @@
+"""Perf-regression checking against a committed baseline.
+
+CI cannot compare absolute seconds across hosts, but two classes of
+observables *are* stable for a fixed workload (same seed, geometry and
+tolerances):
+
+* **structure** — how many parallel regions each strategy issues, split
+  by region kind.  This is the paper's own headline metric (oldPAR issues
+  many times more commands than newPAR) and is deterministic up to small
+  cross-platform floating-point drift in optimizer iteration counts;
+* **relative performance** — measured on one host in one run: newPAR must
+  not lose its efficiency and wall-clock advantage over oldPAR.
+
+:func:`summarize_profiles` reduces a pair of measured
+:class:`~repro.perf.profile.RunProfile` objects to a compact summary (a
+few dozen numbers — this is also what benchmarks commit instead of raw
+per-record dumps), and :func:`check_profiles` diffs a fresh summary
+against a committed baseline under explicit tolerances.
+"""
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+__all__ = [
+    "SUMMARY_VERSION",
+    "DEFAULT_TOLERANCES",
+    "profile_summary",
+    "summarize_profiles",
+    "RegressionReport",
+    "check_profiles",
+    "load_baseline",
+    "write_baseline",
+]
+
+SUMMARY_VERSION = 1
+
+#: Default check tolerances (override via the baseline's "tolerances" key).
+DEFAULT_TOLERANCES = {
+    # relative slack on per-strategy region counts (total and per kind)
+    "count_tol": 0.25,
+    # absolute slack on small per-kind counts (so 3 -> 4 regions passes)
+    "count_abs": 4,
+    # oldPAR/newPAR region ratio may shrink to this fraction of baseline
+    "ratio_floor": 0.75,
+    # newPAR efficiency may undercut oldPAR's by at most this much
+    "efficiency_drop": 0.05,
+    # newPAR wall time must stay below old * this factor
+    "wall_ratio_slack": 1.0,
+}
+
+
+def profile_summary(profile) -> dict:
+    """One RunProfile as compact, committable summary stats."""
+    kind_counts: dict[str, int] = {}
+    for rec in profile.records:
+        kind_counts[rec.kind] = kind_counts.get(rec.kind, 0) + 1
+    return {
+        "backend": profile.backend,
+        "n_workers": profile.n_workers,
+        "distribution": profile.distribution,
+        "n_regions": profile.n_regions,
+        "kind_counts": dict(sorted(kind_counts.items())),
+        "kind_seconds": {
+            k: round(v, 6) for k, v in sorted(profile.kind_seconds().items())
+        },
+        "total_seconds": round(profile.total_seconds, 6),
+        "sync_seconds": round(profile.sync_seconds, 6),
+        "busy_seconds": [round(float(b), 6) for b in profile.busy_seconds],
+        "idle_seconds": [round(float(i), 6) for i in profile.idle_seconds],
+        "efficiency": round(profile.efficiency, 6),
+        "load_balance": round(profile.load_balance, 6),
+        "meta": dict(profile.meta),
+    }
+
+
+def summarize_profiles(profiles: dict) -> dict:
+    """Strategy-name -> RunProfile mapping as one summary document."""
+    summary = {
+        "version": SUMMARY_VERSION,
+        "strategies": {name: profile_summary(p) for name, p in profiles.items()},
+    }
+    if "old" in profiles and "new" in profiles:
+        old, new = profiles["old"], profiles["new"]
+        summary["derived"] = {
+            "command_ratio": (
+                old.n_regions / new.n_regions if new.n_regions else float("inf")
+            ),
+            "wall_ratio": (
+                new.total_seconds / old.total_seconds
+                if old.total_seconds > 0 else float("inf")
+            ),
+            "efficiency_gain": new.efficiency - old.efficiency,
+        }
+    return summary
+
+
+@dataclass
+class RegressionReport:
+    """Outcome of one baseline comparison."""
+
+    checks: list[tuple[str, bool, str]] = field(default_factory=list)
+
+    def add(self, name: str, ok: bool, detail: str) -> None:
+        self.checks.append((name, bool(ok), detail))
+
+    @property
+    def ok(self) -> bool:
+        return all(ok for _, ok, _ in self.checks)
+
+    @property
+    def failures(self) -> list[str]:
+        return [f"{name}: {detail}" for name, ok, detail in self.checks if not ok]
+
+    def summary(self) -> str:
+        lines = []
+        for name, ok, detail in self.checks:
+            lines.append(f"  [{'ok' if ok else 'FAIL'}] {name}: {detail}")
+        verdict = "PASS" if self.ok else "FAIL"
+        lines.append(f"perf regression check: {verdict} "
+                     f"({len(self.checks)} checks, "
+                     f"{len(self.failures)} failures)")
+        return "\n".join(lines)
+
+
+def _within(measured: float, expected: float, rel: float, abs_slack: float = 0.0) -> bool:
+    return abs(measured - expected) <= max(rel * abs(expected), abs_slack)
+
+
+def check_profiles(profiles: dict, baseline: dict, tolerances: dict | None = None) -> RegressionReport:
+    """Diff fresh measured profiles against a committed baseline summary.
+
+    ``profiles`` maps strategy name -> RunProfile (as produced by the
+    perf-smoke workload); ``baseline`` is a document from
+    :func:`write_baseline`.  Returns a report; callers decide what a
+    failure means (CI exits non-zero).
+    """
+    tol = dict(DEFAULT_TOLERANCES)
+    tol.update(baseline.get("tolerances", {}))
+    if tolerances:
+        tol.update(tolerances)
+    fresh = summarize_profiles(profiles)
+    report = RegressionReport()
+
+    base_strategies = baseline.get("strategies", {})
+    for name, base in base_strategies.items():
+        got = fresh["strategies"].get(name)
+        if got is None:
+            report.add(f"{name}.present", False, "strategy missing from fresh run")
+            continue
+        report.add(
+            f"{name}.n_regions",
+            _within(got["n_regions"], base["n_regions"], tol["count_tol"], tol["count_abs"]),
+            f"measured {got['n_regions']} vs baseline {base['n_regions']} "
+            f"(±{tol['count_tol']:.0%}/{tol['count_abs']})",
+        )
+        for kind, expected in base.get("kind_counts", {}).items():
+            measured = got["kind_counts"].get(kind, 0)
+            report.add(
+                f"{name}.kind.{kind}",
+                _within(measured, expected, tol["count_tol"], tol["count_abs"]),
+                f"measured {measured} vs baseline {expected}",
+            )
+
+    derived = fresh.get("derived")
+    base_derived = baseline.get("derived", {})
+    if derived is not None:
+        if "command_ratio" in base_derived:
+            floor = base_derived["command_ratio"] * tol["ratio_floor"]
+            report.add(
+                "derived.command_ratio",
+                derived["command_ratio"] >= floor,
+                f"old/new region ratio {derived['command_ratio']:.2f} "
+                f"(floor {floor:.2f})",
+            )
+        old = fresh["strategies"]["old"]
+        new = fresh["strategies"]["new"]
+        report.add(
+            "derived.efficiency",
+            new["efficiency"] >= old["efficiency"] - tol["efficiency_drop"],
+            f"newPAR {new['efficiency']:.1%} vs oldPAR {old['efficiency']:.1%} "
+            f"(allowed drop {tol['efficiency_drop']:.1%})",
+        )
+        report.add(
+            "derived.wall_ratio",
+            derived["wall_ratio"] <= tol["wall_ratio_slack"],
+            f"new/old wall ratio {derived['wall_ratio']:.2f} "
+            f"(limit {tol['wall_ratio_slack']:.2f})",
+        )
+    return report
+
+
+def load_baseline(path: str | Path) -> dict:
+    baseline = json.loads(Path(path).read_text())
+    version = baseline.get("version")
+    if version != SUMMARY_VERSION:
+        raise ValueError(
+            f"baseline {path} has version {version!r}, expected {SUMMARY_VERSION}"
+        )
+    return baseline
+
+
+def write_baseline(
+    path: str | Path,
+    profiles: dict,
+    workload: dict,
+    tolerances: dict | None = None,
+) -> dict:
+    """Freeze the current measurements as the committed baseline."""
+    doc = summarize_profiles(profiles)
+    doc["workload"] = dict(workload)
+    doc["tolerances"] = dict(tolerances or {})
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    return doc

@@ -74,6 +74,11 @@ class BatchedBrent:
     entries where ``active`` is False are never read.  Lanes may also be
     excluded from the whole run via the ``mask`` argument (used by oldPAR
     to run one partition at a time through the same code path).
+
+    An ``observer`` with an ``iteration(x, active)`` method (e.g. a
+    :class:`repro.obs.ConvergenceLog`) receives every lock-step round's
+    trial points and active mask — the paper's per-partition convergence
+    boolean vector, recorded as it evolves.
     """
 
     def __init__(
@@ -97,6 +102,7 @@ class BatchedBrent:
         fn: Callable[[np.ndarray, np.ndarray], np.ndarray],
         guess: np.ndarray | None = None,
         mask: np.ndarray | None = None,
+        observer=None,
     ) -> BrentResult:
         k = self.lower.shape[0]
         a = self.lower.copy()
@@ -116,6 +122,8 @@ class BatchedBrent:
             x = np.clip(g, a + pad, b - pad)
         fx = np.full(k, np.inf)
         fx[lanes] = np.asarray(fn(x, lanes), dtype=np.float64)[lanes]
+        if observer is not None:
+            observer.iteration(x, lanes)
 
         w = x.copy()
         v = x.copy()
@@ -177,6 +185,8 @@ class BatchedBrent:
 
             fu = np.full(k, np.inf)
             fu[active] = np.asarray(fn(u, active), dtype=np.float64)[active]
+            if observer is not None:
+                observer.iteration(u, active)
             iterations[active] += 1
             rounds += 1
 

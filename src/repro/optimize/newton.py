@@ -52,6 +52,11 @@ class BatchedNewton:
     The derivative oracle is
     ``fn(z: (k,) array, active: (k,) bool) -> (d1: (k,), d2: (k,))``;
     inactive entries are never read.
+
+    An ``observer`` with an ``iteration(z, active)`` method (e.g. a
+    :class:`repro.obs.ConvergenceLog`) receives every lock-step round's
+    points and active mask — the per-partition convergence boolean vector
+    whose decay drives the paper's load-balance analysis.
     """
 
     def __init__(
@@ -73,6 +78,7 @@ class BatchedNewton:
         fn: Callable[[np.ndarray, np.ndarray], tuple[np.ndarray, np.ndarray]],
         z0: np.ndarray,
         mask: np.ndarray | None = None,
+        observer=None,
     ) -> NewtonResult:
         z = np.clip(np.asarray(z0, dtype=np.float64).copy(), self.lower, self.upper)
         k = z.shape[0]
@@ -89,6 +95,8 @@ class BatchedNewton:
             r1, r2 = fn(z, active)
             d1[active] = np.asarray(r1, dtype=np.float64)[active]
             d2[active] = np.asarray(r2, dtype=np.float64)[active]
+            if observer is not None:
+                observer.iteration(z, active)
             iterations[active] += 1
             rounds += 1
 

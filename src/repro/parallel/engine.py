@@ -30,6 +30,10 @@ import multiprocessing as mp
 
 import numpy as np
 
+from ..core.trace import command_kind
+from ..obs.convergence import NullTelemetry
+from ..obs.metrics import NullMetrics
+from ..obs.tracer import NullTracer
 from ..optimize.newton import BatchedNewton, newton_optimize
 from ..optimize.brent import BatchedBrent
 from ..plk.partition import PartitionedAlignment
@@ -291,6 +295,21 @@ class ParallelPLK:
         A :class:`repro.perf.Profiler` to record per-command region
         timings (master wall time + each worker's execute time), or
         ``None`` for the zero-overhead :class:`repro.perf.NullProfiler`.
+    tracer:
+        A :class:`repro.obs.Tracer` turning every broadcast into a
+        timestamped span on the master lane — plus, when a profiler is
+        also attached, a busy span per worker lane — or ``None`` for the
+        zero-overhead :class:`repro.obs.NullTracer` (the unobserved
+        broadcast path is guarded by one attribute read; no method calls
+        are added).
+    metrics:
+        A :class:`repro.obs.MetricsRegistry` counting broadcasts by region
+        kind and (with a profiler attached) filling the barrier-wait and
+        region-wall histograms, or ``None`` to discard.
+    telemetry:
+        A :class:`repro.obs.ConvergenceTelemetry` recording the batched
+        optimizers' per-partition convergence vectors, or ``None`` to
+        discard.
     """
 
     def __init__(
@@ -305,6 +324,9 @@ class ParallelPLK:
         initial_lengths: np.ndarray | None = None,
         categories: int = 4,
         profiler=None,
+        tracer=None,
+        metrics=None,
+        telemetry=None,
     ):
         if n_workers < 1:
             raise ValueError("need at least one worker")
@@ -315,6 +337,9 @@ class ParallelPLK:
 
             profiler = NullProfiler()
         self.profiler = profiler
+        self.tracer = tracer if tracer is not None else NullTracer()
+        self.metrics = metrics if metrics is not None else NullMetrics()
+        self.telemetry = telemetry if telemetry is not None else NullTelemetry()
         self.n_partitions = data.n_partitions
         self.n_workers = n_workers
         self.backend = backend
@@ -344,7 +369,42 @@ class ParallelPLK:
 
     def _broadcast(self, cmd: tuple) -> list:
         self.commands_issued += 1
-        return self.profiler.broadcast(self._team, cmd)
+        # Hot path: with the null defaults this adds two attribute reads
+        # and zero method calls over the bare profiler dispatch.
+        if not (self.tracer.enabled or self.metrics.enabled):
+            return self.profiler.broadcast(self._team, cmd)
+        return self._broadcast_observed(cmd)
+
+    def _broadcast_observed(self, cmd: tuple) -> list:
+        """One observed broadcast: a master-lane span for the command, a
+        busy span per worker lane and the barrier-wait histogram samples
+        (the latter two only when a :class:`~repro.perf.Profiler` is
+        attached — worker execute seconds come from its timed exchange)."""
+        tracer, metrics, profiler = self.tracer, self.metrics, self.profiler
+        op = cmd[0]
+        kind = command_kind(op)
+        n_before = len(profiler.records) if profiler.enabled else 0
+        t0 = tracer.now() if tracer.enabled else 0.0
+        results = profiler.broadcast(self._team, cmd)
+        record = None
+        if profiler.enabled and len(profiler.records) > n_before:
+            record = profiler.records[-1]
+        if tracer.enabled:
+            tracer.add_span(op, kind, 0, t0, tracer.now() - t0)
+            if record is not None:
+                for w, busy in enumerate(record.busy):
+                    if busy > 0.0:
+                        tracer.add_span(op, kind, w + 1, t0, busy)
+        if metrics.enabled:
+            metrics.counter("broadcasts.total").inc()
+            metrics.counter(f"broadcasts.{kind}").inc()
+            if record is not None:
+                metrics.histogram("region_wall_seconds").observe(record.wall)
+                metrics.histogram("sync_seconds").observe(record.sync)
+                wait = metrics.histogram("barrier_wait_seconds")
+                for idle in record.idle:
+                    wait.observe(idle)
+        return results
 
     def close(self) -> None:
         self._team.close()
@@ -411,7 +471,12 @@ class ParallelPLK:
                 active = [int(i) for i in np.flatnonzero(active_mask)]
                 return self.branch_derivatives(handle, z, active)
 
-            res = solver.run(fn, np.asarray(z0, float))
+            with self.tracer.span("optimize_branch", cat="optimizer",
+                                  edge=edge, strategy="new"):
+                res = solver.run(
+                    fn, np.asarray(z0, float),
+                    observer=self.telemetry.start("nr_branch", n),
+                )
             # Monotonicity guard: keep only improvements (matches the
             # sequential strategies).
             every = list(range(n))
@@ -436,7 +501,11 @@ class ParallelPLK:
                     d1, d2 = self.branch_derivatives(_h, np.full(n, z), [_p])
                     return float(d1[_p]), float(d2[_p])
 
-                z, _, _ = newton_optimize(fn, float(z0[p]), _BRANCH_MIN, _BRANCH_MAX, ztol)
+                with self.tracer.span("optimize_branch", cat="optimizer",
+                                      edge=edge, strategy="old", partition=p):
+                    z, _, _ = newton_optimize(
+                        fn, float(z0[p]), _BRANCH_MIN, _BRANCH_MAX, ztol
+                    )
                 zs_old = np.full(n, float(z0[p]))
                 zs_new = np.full(n, z)
                 old_lnl = np.sum(
@@ -483,7 +552,11 @@ class ParallelPLK:
                 parts = self._broadcast(("eval_alpha", np.asarray(x, float), active, root_edge))
                 return np.sum(parts, axis=0)
 
-            res = solver.run(fn, guess=np.asarray(guess, float))
+            with self.tracer.span("optimize_alpha", cat="optimizer", strategy="new"):
+                res = solver.run(
+                    fn, guess=np.asarray(guess, float),
+                    observer=self.telemetry.start("brent_alpha", n),
+                )
             for p in range(n):
                 self.set_alpha(p, float(res.x[p]))
             return res.x
@@ -498,7 +571,9 @@ class ParallelPLK:
                     parts = self._broadcast(("eval_alpha", xs, [_p], root_edge))
                     return np.array([np.sum(parts, axis=0)[_p]])
 
-                res = solver.run(fn, guess=np.array([float(guess[p])]))
+                with self.tracer.span("optimize_alpha", cat="optimizer",
+                                      strategy="old", partition=p):
+                    res = solver.run(fn, guess=np.array([float(guess[p])]))
                 self.set_alpha(p, float(res.x[0]))
                 out[p] = res.x[0]
             return out

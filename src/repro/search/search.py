@@ -106,11 +106,13 @@ def spr_round(
                 continue
             evaluated += 1
             saved = lengths_before[move.changed_edges]
-            engine.invalidate_topology(move.invalidate)
-            optimize_branch_lengths(
-                engine, strategy, passes=1, edges=move.changed_edges
-            )
-            lnl = engine.loglikelihood(root_edge=target)
+            with engine.tracer.span("spr", cat="search",
+                                    prune=int(prune_edge), target=int(target)):
+                engine.invalidate_topology(move.invalidate)
+                optimize_branch_lengths(
+                    engine, strategy, passes=1, edges=move.changed_edges
+                )
+                lnl = engine.loglikelihood(root_edge=target)
             if accept == "first" and lnl > best_lnl + ACCEPT_EPS:
                 best_lnl = lnl
                 accepted += 1
@@ -156,11 +158,13 @@ def nni_round(
             move = nni_swap(tree, edge, variant)
             evaluated += 1
             saved = lengths_before[move.changed_edges]
-            engine.invalidate_topology(move.invalidate)
-            optimize_branch_lengths(
-                engine, strategy, passes=1, edges=[edge, *move.changed_edges]
-            )
-            lnl = engine.loglikelihood(root_edge=edge)
+            with engine.tracer.span("nni", cat="search",
+                                    edge=int(edge), variant=variant):
+                engine.invalidate_topology(move.invalidate)
+                optimize_branch_lengths(
+                    engine, strategy, passes=1, edges=[edge, *move.changed_edges]
+                )
+                lnl = engine.loglikelihood(root_edge=edge)
             if lnl > best_lnl + ACCEPT_EPS:
                 best_lnl = lnl
                 accepted += 1
@@ -203,19 +207,20 @@ def tree_search(
     rounds = 0
     for rounds in range(1, max_rounds + 1):
         before = lnl
-        if moves in ("spr", "both"):
-            lnl, acc, ev = spr_round(
-                engine, strategy, radius, lnl, max_candidates, accept
+        with engine.tracer.span("search_round", cat="search", round=rounds):
+            if moves in ("spr", "both"):
+                lnl, acc, ev = spr_round(
+                    engine, strategy, radius, lnl, max_candidates, accept
+                )
+                total_accepted += acc
+                total_evaluated += ev
+            if moves in ("nni", "both"):
+                lnl, acc, ev = nni_round(engine, strategy, lnl)
+                total_accepted += acc
+                total_evaluated += ev
+            lnl = optimize_model(
+                engine, strategy, max_rounds=model_rounds, include_rates=False
             )
-            total_accepted += acc
-            total_evaluated += ev
-        if moves in ("nni", "both"):
-            lnl, acc, ev = nni_round(engine, strategy, lnl)
-            total_accepted += acc
-            total_evaluated += ev
-        lnl = optimize_model(
-            engine, strategy, max_rounds=model_rounds, include_rates=False
-        )
         history.append(lnl)
         if lnl - before < epsilon:
             break

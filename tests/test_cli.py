@@ -171,6 +171,124 @@ class TestProfile:
         assert (len(payload["old"]["records"])
                 > len(payload["new"]["records"]))
 
+    def test_warmup_flag(self, capsys):
+        rc = main(
+            [
+                "profile",
+                "--taxa", "6", "--sites", "300", "--partitions", "3",
+                "--workers", "2", "--backend", "threads",
+                "--edges", "2", "--warmup",
+            ]
+        )
+        assert rc == 0
+        assert "warmup pass" in capsys.readouterr().out
+
+    def test_edges_exceeding_tree_rejected(self, capsys):
+        # an 8-taxon unrooted tree has 13 branches; asking for more must
+        # be a clean error, not a traceback
+        rc = main(["profile", "--taxa", "8", "--edges", "99"])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "13 branches" in err
+
+    def test_tiny_taxa_rejected(self, capsys):
+        rc = main(["profile", "--taxa", "3"])
+        assert rc == 2
+        assert "taxa" in capsys.readouterr().err
+
+
+_TINY_WORKLOAD = [
+    "--taxa", "6", "--sites", "300", "--partitions", "3",
+    "--workers", "2", "--backend", "threads", "--edges", "2",
+]
+
+
+class TestTimeline:
+    def test_fresh_run_writes_valid_trace(self, capsys, tmp_path):
+        import json
+
+        from repro.obs import validate_chrome_trace
+
+        out_path = tmp_path / "trace.json"
+        rc = main(["timeline", *_TINY_WORKLOAD, "--out", str(out_path)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "master" in out and "worker 0" in out and "worker 1" in out
+        assert "broadcasts:" in out
+        assert "convergence telemetry" in out
+        events = validate_chrome_trace(json.loads(out_path.read_text()))
+        lanes = {ev["tid"] for ev in events if ev["ph"] == "X"}
+        assert lanes == {0, 1, 2}  # master + one lane per worker
+
+    def test_render_saved_profile(self, capsys, tmp_path):
+        import json
+
+        from repro.obs import validate_chrome_trace
+
+        profile_path = tmp_path / "profile.json"
+        rc = main(["profile", *_TINY_WORKLOAD, "--out", str(profile_path)])
+        assert rc == 0
+        capsys.readouterr()
+        out_path = tmp_path / "trace.json"
+        rc = main(
+            [
+                "timeline",
+                "--profile", str(profile_path),
+                "--strategy", "old",
+                "--out", str(out_path),
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "[old]" in out and "worker 1" in out
+        validate_chrome_trace(json.loads(out_path.read_text()))
+
+
+class TestPerfcheck:
+    def test_missing_baseline_errors(self, capsys, tmp_path):
+        rc = main(["perfcheck", "--baseline", str(tmp_path / "none.json")])
+        assert rc == 2
+        assert "not found" in capsys.readouterr().err
+
+    def test_update_then_check(self, capsys, tmp_path):
+        import json
+
+        baseline = tmp_path / "base.json"
+        rc = main(
+            ["perfcheck", "--update", "--baseline", str(baseline),
+             *_TINY_WORKLOAD]
+        )
+        assert rc == 0
+        assert baseline.exists()
+        capsys.readouterr()
+        # the tiny test workload is timing-jittery; relax the wall-clock
+        # checks through the baseline's own tolerances override
+        doc = json.loads(baseline.read_text())
+        doc["tolerances"] = {"wall_ratio_slack": 2.0, "efficiency_drop": 0.3}
+        baseline.write_text(json.dumps(doc))
+        trace_path = tmp_path / "smoke_trace.json"
+        rc = main(
+            ["perfcheck", "--baseline", str(baseline),
+             "--out-trace", str(trace_path)]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0, out
+        assert "PASS" in out
+        assert trace_path.exists()
+
+    def test_committed_baseline_loads(self):
+        from repro.obs import load_baseline
+
+        baseline = load_baseline(
+            Path(__file__).resolve().parents[1]
+            / "benchmarks" / "baselines" / "perf_smoke.json"
+        )
+        assert {"taxa", "workers", "backend", "edges"} <= set(
+            baseline["workload"]
+        )
+        assert "old" in baseline["strategies"]
+        assert "new" in baseline["strategies"]
+
 
 class TestCheckpointFlow:
     def test_checkpoint_and_resume(self, dataset_files, tmp_path, capsys):
