@@ -22,6 +22,14 @@ Subcommands
     the master command lane, loadable in Perfetto / ``chrome://tracing``
     — alongside an ASCII rendering, the metrics snapshot and the
     per-partition convergence telemetry.
+``balance``
+    Compare all four pattern-distribution policies (``cyclic``, ``block``,
+    ``weighted``, ``lpt``) on one workload: per-thread load as *predicted*
+    by the machine simulator and as *measured* on a real parallel backend,
+    each summarized by the imbalance ratio (max/mean thread busy time;
+    1.0 = perfect).  ``--rebalance`` additionally demonstrates the
+    measured-feedback loop: warmup run -> calibrated cost model ->
+    LPT replan -> re-measured imbalance.
 ``perfcheck``
     Re-run the committed perf-smoke workload and diff its structural and
     relative-performance summary against the committed baseline
@@ -39,6 +47,7 @@ Examples
         --candidates 60
     python -m repro profile --workers 4 --backend processes \
         --partitions 10 --warmup --out profile.json
+    python -m repro balance --workers 4 --partitions 10 --rebalance
     python -m repro timeline --workers 4 --backend processes \
         --out timeline_trace.json
     python -m repro perfcheck --baseline benchmarks/baselines/perf_smoke.json
@@ -56,6 +65,8 @@ __all__ = ["main", "build_parser"]
 
 
 def build_parser() -> argparse.ArgumentParser:
+    from .parallel.distribution import DISTRIBUTIONS
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Load-balanced partitioned phylogenetic likelihood "
@@ -104,7 +115,7 @@ def build_parser() -> argparse.ArgumentParser:
     rep.add_argument("--candidates", type=int, default=60,
                      help="SPR candidates to evaluate during capture")
     rep.add_argument("--threads", type=int, nargs="+", default=[1, 8, 16])
-    rep.add_argument("--distribution", choices=("cyclic", "block"),
+    rep.add_argument("--distribution", choices=DISTRIBUTIONS,
                      default="cyclic")
 
     def add_workload_args(p, workers_default: int = 4) -> None:
@@ -114,7 +125,7 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--workers", type=int, default=workers_default)
         p.add_argument("--backend", choices=("threads", "processes"),
                        default="processes")
-        p.add_argument("--distribution", choices=("cyclic", "block"),
+        p.add_argument("--distribution", choices=DISTRIBUTIONS,
                        default="cyclic")
         p.add_argument("--edges", type=int, default=6,
                        help="branches to optimize per strategy")
@@ -147,6 +158,22 @@ def build_parser() -> argparse.ArgumentParser:
                     "(default: %(default)s)")
     tl.add_argument("--width", type=int, default=72,
                     help="ASCII timeline width in columns")
+
+    bal = sub.add_parser(
+        "balance",
+        help="compare the four distribution policies: predicted vs "
+        "measured per-thread load and imbalance ratio",
+    )
+    add_workload_args(bal)
+    bal.add_argument("--platform", default="nehalem",
+                     help="simulated platform for the prediction "
+                     "(nehalem / clovertown / barcelona / x4600; "
+                     "default: %(default)s)")
+    bal.add_argument("--strategy", choices=("old", "new"), default="new")
+    bal.add_argument("--rebalance", action="store_true",
+                     help="also demonstrate the measured-feedback loop: "
+                     "warmup run -> calibrated cost model -> LPT replan -> "
+                     "re-measured imbalance")
 
     chk = sub.add_parser(
         "perfcheck",
@@ -524,6 +551,101 @@ def _cmd_timeline(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_balance(args: argparse.Namespace) -> int:
+    from .core import PartitionedEngine, TraceRecorder
+    from .core.strategies import optimize_alpha, optimize_branch_lengths
+    from .parallel import (
+        DISTRIBUTIONS,
+        ParallelPLK,
+        PartitionLayout,
+        Rebalancer,
+        build_plan,
+    )
+    from .perf import Profiler
+    from .simmachine import get_platform, simulate_trace
+
+    error = _validate_workload(args)
+    if error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    try:
+        machine = get_platform(args.platform)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    if args.workers > machine.cores:
+        print(f"error: {machine.name} has {machine.cores} cores; cannot "
+              f"predict {args.workers} threads", file=sys.stderr)
+        return 2
+
+    data, tree, lengths, models, alphas, edges = _build_workload(args)
+    print(f"balance study: {data.n_partitions} partitions x "
+          f"~{max(args.sites // args.partitions, 1)} sites, "
+          f"{args.workers} {args.backend} workers, {len(edges)} branches, "
+          f"strategy={args.strategy}, platform={machine.name}")
+
+    # Capture the schedule once with a sequential pass over the same work
+    # the team executes; every policy is then predicted from this trace.
+    recorder = TraceRecorder()
+    engine = PartitionedEngine(
+        data, tree.copy(), models=list(models), alphas=list(alphas),
+        initial_lengths=lengths, recorder=recorder,
+    )
+    optimize_branch_lengths(engine, args.strategy, passes=1, edges=edges)
+    if args.alpha:
+        optimize_alpha(engine, args.strategy)
+    trace = recorder.finalize(engine.pattern_counts(), engine.states())
+
+    def measured(policy):
+        profiler = Profiler(meta={
+            "policy": getattr(policy, "policy", policy), "seed": args.seed,
+        })
+        with ParallelPLK(
+            data, tree, models, alphas, args.workers,
+            backend=args.backend, distribution=policy,
+            initial_lengths=lengths, profiler=profiler,
+        ) as team:
+            team.optimize_branches(edges, args.strategy)
+            if args.alpha:
+                team.optimize_alpha(args.strategy)
+        return profiler.profile()
+
+    def fmt_busy(busy):
+        return " ".join(f"{b * 1e3:8.2f}" for b in busy)
+
+    rows = []
+    for policy in DISTRIBUTIONS:
+        sim = simulate_trace(trace, machine, args.workers, policy)
+        prof = measured(policy)
+        rows.append((policy, sim.imbalance, prof.imbalance))
+        print(f"\n== {policy} ==")
+        print(f"  predicted ({machine.name} T={args.workers}) "
+              f"busy/thread [ms]: {fmt_busy(sim.busy_seconds)}   "
+              f"imbalance {sim.imbalance:.3f}")
+        print(f"  measured  ({args.backend} x{args.workers}) "
+              f"busy/thread [ms]: {fmt_busy(prof.busy_seconds)}   "
+              f"imbalance {prof.imbalance:.3f}")
+
+    header = f"\n{'policy':<10} {'predicted':>10} {'measured':>10}"
+    print(header)
+    print("-" * (len(header) - 1))
+    for policy, pred, meas in rows:
+        print(f"{policy:<10} {pred:>10.3f} {meas:>10.3f}")
+    print("(imbalance ratio = max/mean per-thread busy time; 1.000 = perfect)")
+
+    if args.rebalance:
+        layout = PartitionLayout.from_alignment(data)
+        warm_plan = build_plan(layout, args.workers, args.distribution)
+        warm = measured(warm_plan)
+        replanned = Rebalancer(layout, args.workers).rebalance(warm_plan, warm)
+        tuned = measured(replanned)
+        print(f"\nrebalance: warmup ({warm_plan.policy}) measured imbalance "
+              f"{warm.imbalance:.3f} -> calibrated {replanned.policy} replan "
+              f"predicted {replanned.imbalance():.3f}, "
+              f"measured {tuned.imbalance:.3f}")
+    return 0
+
+
 def _cmd_perfcheck(args: argparse.Namespace) -> int:
     from .obs import check_profiles, load_baseline, write_baseline
 
@@ -578,6 +700,7 @@ def main(argv: list[str] | None = None) -> int:
         "analyze": _cmd_analyze,
         "replay": _cmd_replay,
         "profile": _cmd_profile,
+        "balance": _cmd_balance,
         "timeline": _cmd_timeline,
         "perfcheck": _cmd_perfcheck,
     }

@@ -111,12 +111,18 @@ class Region:
 @dataclass
 class Trace:
     """A recorded analysis schedule plus the dataset geometry needed to
-    cost it (per-partition pattern counts and state-space sizes)."""
+    cost it (per-partition pattern counts and state-space sizes).
+
+    ``distribution`` is the pattern-distribution policy the capturing run
+    intended (see :data:`repro.parallel.DISTRIBUTIONS`); the simulator
+    uses it as the default replay policy, and any other policy can still
+    be requested explicitly at replay time."""
 
     regions: list[Region] = field(default_factory=list)
     pattern_counts: np.ndarray | None = None   # (P,) m'_p
     states: np.ndarray | None = None           # (P,) 4 or 20
     categories: int = 4
+    distribution: str = "cyclic"
 
     @property
     def n_regions(self) -> int:
@@ -195,13 +201,21 @@ class TraceRecorder:
 
     # -- finishing ---------------------------------------------------------
 
-    def finalize(self, pattern_counts: np.ndarray, states: np.ndarray, categories: int = 4) -> Trace:
-        """Attach dataset geometry and return the trace."""
+    def finalize(
+        self,
+        pattern_counts: np.ndarray,
+        states: np.ndarray,
+        categories: int = 4,
+        distribution: str = "cyclic",
+    ) -> Trace:
+        """Attach dataset geometry (pattern **counts** and state sizes)
+        and the intended replay policy, and return the trace."""
         if self._open is not None:
             raise RuntimeError("finalize() with a region still open")
         self.trace.pattern_counts = np.asarray(pattern_counts, dtype=np.int64)
         self.trace.states = np.asarray(states, dtype=np.int64)
         self.trace.categories = categories
+        self.trace.distribution = distribution
         return self.trace
 
 
@@ -233,9 +247,16 @@ class NullRecorder:
     def derivative(self, partition: int, patterns: int) -> None:  # noqa: D102
         pass
 
-    def finalize(self, pattern_counts: np.ndarray, states: np.ndarray, categories: int = 4) -> Trace:
+    def finalize(
+        self,
+        pattern_counts: np.ndarray,
+        states: np.ndarray,
+        categories: int = 4,
+        distribution: str = "cyclic",
+    ) -> Trace:
         """Attach dataset geometry to the (empty) trace and return it."""
         self.trace.pattern_counts = np.asarray(pattern_counts, dtype=np.int64)
         self.trace.states = np.asarray(states, dtype=np.int64)
         self.trace.categories = categories
+        self.trace.distribution = distribution
         return self.trace

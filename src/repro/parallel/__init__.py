@@ -1,26 +1,45 @@
-"""Real parallel execution of the PLK: pattern distribution policies plus
-thread- and process-based master/worker backends executing the same
-schedule the simulator replays."""
+"""Real parallel execution of the PLK: pattern distribution policies
+(static and cost-aware), a measured-feedback rebalancer, plus thread- and
+process-based master/worker backends executing the same schedule the
+simulator replays."""
 from .distribution import (
     DISTRIBUTIONS,
+    STATIC_DISTRIBUTIONS,
     block_indices,
     block_partition_counts,
     cyclic_indices,
     cyclic_partition_counts,
     partition_thread_counts,
 )
+from .balance import (
+    CostModel,
+    DistributionPlan,
+    PartitionLayout,
+    Rebalancer,
+    build_plan,
+    imbalance_ratio,
+    pattern_weight,
+)
 from .engine import ParallelPLK, WorkerError
 from .worker import WorkerState, slice_partition_data
 
 __all__ = [
     "DISTRIBUTIONS",
+    "STATIC_DISTRIBUTIONS",
+    "CostModel",
+    "DistributionPlan",
     "ParallelPLK",
+    "PartitionLayout",
+    "Rebalancer",
     "WorkerError",
     "WorkerState",
     "block_indices",
     "block_partition_counts",
+    "build_plan",
     "cyclic_indices",
     "cyclic_partition_counts",
+    "imbalance_ratio",
     "partition_thread_counts",
+    "pattern_weight",
     "slice_partition_data",
 ]

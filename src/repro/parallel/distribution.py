@@ -12,6 +12,24 @@ The alternative *block* policy (thread t owns one contiguous chunk of the
 global pattern vector) equalizes raw pattern counts but concentrates each
 partition — and each datatype — on few threads, which is catastrophic for
 per-partition operations; it exists here as the ablation baseline.
+
+Two further *cost-aware* policies — ``weighted`` (cost-aware cyclic) and
+``lpt`` (longest-processing-time greedy bin packing) — weigh patterns by a
+per-partition cost model instead of treating every pattern as equal.  They
+need the *whole* partition layout at once (a pattern's placement depends
+on every other partition's cost), so they are built as a global
+:class:`~repro.parallel.balance.DistributionPlan` rather than through the
+per-partition helpers in this module; see :mod:`repro.parallel.balance`.
+
+Conventions shared by every helper here (units are **counts**, not
+seconds):
+
+* ``offset`` — the partition's first global pattern index (>= 0);
+* ``length`` — the partition's pattern count ``m'_p`` (>= 0; zero-length
+  partitions are valid and yield empty slices / zero counts);
+* ``total`` — the global distinct-pattern count ``m'`` (>= 0);
+* ``n_threads`` — the team size T (>= 1; T larger than ``total`` is valid
+  and simply leaves trailing threads with no patterns).
 """
 from __future__ import annotations
 
@@ -19,6 +37,7 @@ import numpy as np
 
 __all__ = [
     "DISTRIBUTIONS",
+    "STATIC_DISTRIBUTIONS",
     "cyclic_partition_counts",
     "block_partition_counts",
     "partition_thread_counts",
@@ -26,15 +45,49 @@ __all__ = [
     "block_indices",
 ]
 
-DISTRIBUTIONS = ("cyclic", "block")
+#: Every known pattern-distribution policy.  The first two are *static*
+#: (a thread's share of a partition depends only on that partition's
+#: geometry); the last two are *cost-aware* and require a global
+#: :class:`~repro.parallel.balance.DistributionPlan`.
+DISTRIBUTIONS = ("cyclic", "block", "weighted", "lpt")
+
+#: Policies computable partition-by-partition with the helpers below.
+STATIC_DISTRIBUTIONS = ("cyclic", "block")
+
+
+def _check_geometry(offset: int, length: int, n_threads: int, total: int | None = None) -> None:
+    """Shared argument validation: counts must be non-negative, T >= 1."""
+    if n_threads < 1:
+        raise ValueError("need at least one thread")
+    if offset < 0 or length < 0:
+        raise ValueError("offset and length must be non-negative")
+    if total is not None:
+        if total < 0:
+            raise ValueError("total pattern count must be non-negative")
+        if offset + length > total:
+            raise ValueError(
+                f"partition [{offset}, {offset + length}) exceeds total {total}"
+            )
 
 
 def cyclic_partition_counts(offset: int, length: int, n_threads: int) -> np.ndarray:
-    """How many patterns of a partition spanning global indices
-    ``[offset, offset + length)`` each thread owns under cyclic
-    distribution.  Counts differ by at most one across threads."""
-    if n_threads < 1:
-        raise ValueError("need at least one thread")
+    """Per-thread pattern **counts** for a partition spanning global
+    indices ``[offset, offset + length)`` under cyclic distribution
+    (pattern at global index g goes to thread ``g % n_threads``).
+
+    Counts differ by at most one across threads; a zero-``length``
+    partition yields all zeros.
+
+    >>> cyclic_partition_counts(0, 10, 4).tolist()
+    [3, 3, 2, 2]
+    >>> cyclic_partition_counts(3, 10, 4).tolist()   # offset rotates the remainder
+    [3, 2, 2, 3]
+    >>> cyclic_partition_counts(0, 0, 4).tolist()    # empty partition
+    [0, 0, 0, 0]
+    >>> int(cyclic_partition_counts(0, 3, 16).sum())  # m'_p < T: 13 threads idle
+    3
+    """
+    _check_geometry(offset, length, n_threads)
     t = np.arange(n_threads)
     # #{i in [offset, offset+length) : i % T == t}
     first = (t - offset) % n_threads
@@ -44,12 +97,24 @@ def cyclic_partition_counts(offset: int, length: int, n_threads: int) -> np.ndar
 def block_partition_counts(
     offset: int, length: int, total: int, n_threads: int
 ) -> np.ndarray:
-    """Per-thread pattern counts under block distribution: thread t owns
-    the global range ``[t * ceil(total/T), (t+1) * ceil(total/T))``."""
-    if n_threads < 1:
-        raise ValueError("need at least one thread")
-    if total < 1:
-        raise ValueError("need a positive total pattern count")
+    """Per-thread pattern **counts** under block distribution: thread t
+    owns the global range ``[t * ceil(total/T), (t+1) * ceil(total/T))``.
+
+    A zero-``length`` partition (or a zero-``total`` alignment) yields all
+    zeros; ``n_threads > total`` leaves trailing threads empty.
+
+    >>> block_partition_counts(0, 10, 100, 8).tolist()   # one 13-wide chunk
+    [10, 0, 0, 0, 0, 0, 0, 0]
+    >>> block_partition_counts(40, 60, 100, 8).tolist()
+    [0, 0, 0, 12, 13, 13, 13, 9]
+    >>> block_partition_counts(0, 0, 0, 4).tolist()      # empty alignment
+    [0, 0, 0, 0]
+    >>> block_partition_counts(0, 2, 2, 8).tolist()      # T > total
+    [1, 1, 0, 0, 0, 0, 0, 0]
+    """
+    _check_geometry(offset, length, n_threads, total)
+    if total == 0:
+        return np.zeros(n_threads, dtype=np.int64)
     chunk = -(-total // n_threads)
     t = np.arange(n_threads)
     lo = np.minimum(t * chunk, total)
@@ -60,17 +125,42 @@ def block_partition_counts(
 def partition_thread_counts(
     policy: str, offset: int, length: int, total: int, n_threads: int
 ) -> np.ndarray:
-    """Dispatch on the distribution policy name."""
+    """Dispatch on a *static* distribution policy name.
+
+    The cost-aware policies (``weighted``, ``lpt``) cannot be computed for
+    one partition in isolation — a thread's share depends on every other
+    partition's cost — so asking for them here raises and points at
+    :func:`repro.parallel.balance.build_plan`.
+
+    >>> int(partition_thread_counts("cyclic", 0, 10, 100, 4).sum())
+    10
+    >>> int(partition_thread_counts("block", 0, 10, 100, 4).sum())
+    10
+    """
     if policy == "cyclic":
         return cyclic_partition_counts(offset, length, n_threads)
     if policy == "block":
         return block_partition_counts(offset, length, total, n_threads)
+    if policy in DISTRIBUTIONS:
+        raise ValueError(
+            f"policy {policy!r} is cost-aware and needs the whole layout; "
+            "build a repro.parallel.balance.DistributionPlan via build_plan()"
+        )
     raise ValueError(f"unknown distribution {policy!r}; known: {DISTRIBUTIONS}")
 
 
 def cyclic_indices(offset: int, length: int, n_threads: int, thread: int) -> np.ndarray:
-    """Partition-local indices owned by ``thread`` under cyclic policy
-    (used by the real parallel backends to slice tip data)."""
+    """Partition-local pattern indices owned by ``thread`` under the
+    cyclic policy (used by the real parallel backends to slice tip data).
+
+    >>> cyclic_indices(0, 10, 4, 1).tolist()
+    [1, 5, 9]
+    >>> cyclic_indices(3, 10, 4, 0).tolist()   # global index g has g % 4 == 0
+    [1, 5, 9]
+    >>> cyclic_indices(0, 0, 4, 2).tolist()    # empty partition: empty slice
+    []
+    """
+    _check_geometry(offset, length, n_threads)
     if not 0 <= thread < n_threads:
         raise ValueError("thread id out of range")
     first = (thread - offset) % n_threads
@@ -80,9 +170,19 @@ def cyclic_indices(offset: int, length: int, n_threads: int, thread: int) -> np.
 def block_indices(
     offset: int, length: int, total: int, n_threads: int, thread: int
 ) -> np.ndarray:
-    """Partition-local indices owned by ``thread`` under block policy."""
+    """Partition-local pattern indices owned by ``thread`` under the block
+    policy.
+
+    >>> block_indices(40, 60, 100, 8, 4).tolist()
+    [12, 13, 14, 15, 16, 17, 18, 19, 20, 21, 22, 23, 24]
+    >>> block_indices(0, 0, 0, 4, 0).tolist()   # empty alignment: empty slice
+    []
+    """
+    _check_geometry(offset, length, n_threads, total)
     if not 0 <= thread < n_threads:
         raise ValueError("thread id out of range")
+    if total == 0:
+        return np.arange(0)
     chunk = -(-total // n_threads)
     lo = min(thread * chunk, total)
     hi = min(lo + chunk, total)

@@ -38,6 +38,7 @@ from ..optimize.newton import BatchedNewton, newton_optimize
 from ..optimize.brent import BatchedBrent
 from ..plk.partition import PartitionedAlignment
 from ..plk.tree import Tree
+from .balance import DistributionPlan, PartitionLayout, build_plan, imbalance_ratio
 from .worker import WorkerState, slice_partition_data
 
 __all__ = ["ParallelPLK", "WorkerError"]
@@ -289,8 +290,14 @@ class ParallelPLK:
     backend:
         ``"threads"`` or ``"processes"``.
     distribution:
-        Pattern-assignment policy, ``"cyclic"`` (RAxML default) or
-        ``"block"``.
+        Pattern-assignment policy — ``"cyclic"`` (RAxML default),
+        ``"block"``, or the cost-aware ``"weighted"`` / ``"lpt"`` (built
+        with the analytic datatype-cost model) — or a prebuilt
+        :class:`~repro.parallel.balance.DistributionPlan` (e.g. a
+        calibrated plan from a
+        :class:`~repro.parallel.balance.Rebalancer`).  The resolved plan
+        is exposed as ``self.plan`` and its policy name as
+        ``self.distribution``.
     profiler:
         A :class:`repro.perf.Profiler` to record per-command region
         timings (master wall time + each worker's execute time), or
@@ -320,7 +327,7 @@ class ParallelPLK:
         alphas: list[float],
         n_workers: int,
         backend: str = "threads",
-        distribution: str = "cyclic",
+        distribution: str | DistributionPlan = "cyclic",
         initial_lengths: np.ndarray | None = None,
         categories: int = 4,
         profiler=None,
@@ -345,8 +352,26 @@ class ParallelPLK:
         self.backend = backend
         self.commands_issued = 0
         self._token = itertools.count()
+        if isinstance(distribution, DistributionPlan):
+            if distribution.n_threads != n_workers:
+                raise ValueError(
+                    f"plan built for {distribution.n_threads} threads, "
+                    f"team has {n_workers}"
+                )
+            self.plan = distribution
+        else:
+            self.plan = build_plan(
+                PartitionLayout.from_alignment(data, categories),
+                n_workers,
+                distribution,
+            )
+        self.distribution = self.plan.policy
+        # Cumulative per-worker busy seconds (total and by region kind),
+        # feeding the metrics imbalance gauges on observed broadcasts.
+        self._busy_total = np.zeros(n_workers)
+        self._busy_kind: dict[str, np.ndarray] = {}
         worker_slices = [
-            slice_partition_data(data, n_workers, w, distribution)
+            slice_partition_data(data, n_workers, w, self.plan)
             for w in range(n_workers)
         ]
         if backend == "threads":
@@ -363,7 +388,7 @@ class ParallelPLK:
                 ]
             )
         self.profiler.bind(backend=backend, n_workers=n_workers,
-                           distribution=distribution)
+                           distribution=self.distribution)
 
     # ------------------------------------------------------------------
 
@@ -404,6 +429,22 @@ class ParallelPLK:
                 wait = metrics.histogram("barrier_wait_seconds")
                 for idle in record.idle:
                     wait.observe(idle)
+                # Imbalance gauges: cumulative max/mean worker busy time,
+                # overall and per region kind (1.0 = perfect balance).
+                busy = np.asarray(record.busy)
+                self._busy_total += busy
+                kind_busy = self._busy_kind.setdefault(
+                    kind, np.zeros(self.n_workers)
+                )
+                kind_busy += busy
+                if self._busy_total.any():
+                    metrics.gauge("imbalance").set(
+                        imbalance_ratio(self._busy_total)
+                    )
+                if kind_busy.any():
+                    metrics.gauge(f"imbalance.{kind}").set(
+                        imbalance_ratio(kind_busy)
+                    )
         return results
 
     def close(self) -> None:

@@ -24,26 +24,38 @@ import numpy as np
 from ..plk.likelihood import BranchWorkspace, PartitionLikelihood
 from ..plk.partition import PartitionData, PartitionedAlignment
 from ..plk.tree import Tree
-from .distribution import block_indices, cyclic_indices
+from .balance import DistributionPlan, PartitionLayout, build_plan
 
 __all__ = ["slice_partition_data", "WorkerState"]
 
 
 def slice_partition_data(
-    data: PartitionedAlignment, n_workers: int, worker: int, distribution: str
+    data: PartitionedAlignment,
+    n_workers: int,
+    worker: int,
+    distribution: str | DistributionPlan = "cyclic",
 ) -> list[PartitionData]:
-    """The pattern slices worker ``worker`` owns, one per partition."""
-    total = data.n_patterns
-    offset = 0
+    """The pattern slices worker ``worker`` owns, one per partition.
+
+    ``distribution`` is a policy name (a fresh
+    :class:`~repro.parallel.balance.DistributionPlan` is built with the
+    analytic cost model) or a prebuilt plan — the latter is what
+    :class:`~repro.parallel.engine.ParallelPLK` passes so the plan is
+    computed once per team, not once per worker.
+    """
+    if isinstance(distribution, DistributionPlan):
+        plan = distribution
+        if plan.n_threads != n_workers:
+            raise ValueError(
+                f"plan built for {plan.n_threads} threads, team has {n_workers}"
+            )
+    else:
+        plan = build_plan(
+            PartitionLayout.from_alignment(data), n_workers, distribution
+        )
     slices: list[PartitionData] = []
-    for block in data.data:
-        length = block.n_patterns
-        if distribution == "cyclic":
-            idx = cyclic_indices(offset, length, n_workers, worker)
-        elif distribution == "block":
-            idx = block_indices(offset, length, total, n_workers, worker)
-        else:
-            raise ValueError(f"unknown distribution {distribution!r}")
+    for p, block in enumerate(data.data):
+        idx = plan.thread_indices(p, worker)
         slices.append(
             PartitionData(
                 partition=block.partition,
@@ -51,7 +63,6 @@ def slice_partition_data(
                 weights=block.weights[idx].copy(),
             )
         )
-        offset += length
     return slices
 
 

@@ -153,6 +153,17 @@ class RunProfile:
         top = float(busy.max()) if busy.size else 0.0
         return float(busy.mean() / top) if top > 0 else 0.0
 
+    @property
+    def imbalance(self) -> float:
+        """Max over mean per-worker busy seconds (1.0 = perfect balance) —
+        the reciprocal view of :attr:`load_balance`, matching
+        :attr:`repro.simmachine.simulator.SimulationResult.imbalance` so a
+        measured profile and a simulated prediction report the same load
+        metric."""
+        from ..parallel.balance import imbalance_ratio
+
+        return imbalance_ratio(self.busy_seconds)
+
     def kind_seconds(self) -> dict[str, float]:
         """Wall seconds per region kind (newview/sumtable/.../control)."""
         out = {k: 0.0 for k in REGION_KINDS}

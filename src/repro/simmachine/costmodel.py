@@ -30,7 +30,12 @@ from functools import lru_cache
 
 from .machine import MachineSpec
 
-__all__ = ["flops_per_pattern", "bytes_per_pattern", "seconds_per_pattern"]
+__all__ = [
+    "flops_per_pattern",
+    "bytes_per_pattern",
+    "seconds_per_pattern",
+    "relative_pattern_cost",
+]
 
 CACHE_REUSE = 0.5
 
@@ -65,6 +70,25 @@ def bytes_per_pattern(op: str, states: int, categories: int) -> float:
         return doubles[op] * 8.0 * CACHE_REUSE
     except KeyError:
         raise ValueError(f"unknown kernel op {op!r}") from None
+
+
+def relative_pattern_cost(states: int, categories: int = 4) -> float:
+    """Machine-independent relative cost of one pattern (dimensionless).
+
+    This is the analytic weight the cost-aware distribution policies use
+    (``K * s^2``, the dominant term of every kernel op above) — the same
+    value :func:`repro.parallel.balance.pattern_weight` returns, re-exported
+    here so simulator-side code does not need to import the parallel
+    package.
+
+    >>> relative_pattern_cost(4)
+    64.0
+    >>> relative_pattern_cost(20) / relative_pattern_cost(4)
+    25.0
+    """
+    from ..parallel.balance import pattern_weight
+
+    return pattern_weight(states, categories)
 
 
 @lru_cache(maxsize=4096)

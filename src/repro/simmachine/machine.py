@@ -85,6 +85,12 @@ class MachineSpec:
 
     @property
     def cores(self) -> int:
+        """Total core count.
+
+        >>> from repro.simmachine import NEHALEM
+        >>> NEHALEM.cores == NEHALEM.sockets * NEHALEM.cores_per_socket
+        True
+        """
         return self.sockets * self.cores_per_socket
 
     def flops_per_second(self) -> float:

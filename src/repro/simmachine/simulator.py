@@ -28,7 +28,6 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..core.trace import Trace
-from ..parallel.distribution import partition_thread_counts
 from .costmodel import seconds_per_pattern
 from .machine import MachineSpec
 
@@ -54,6 +53,15 @@ class SimulationResult:
         """Mean busy fraction across threads (1.0 = perfect balance)."""
         denom = self.total_seconds * self.n_threads
         return float(self.busy_seconds.sum() / denom) if denom > 0 else 0.0
+
+    @property
+    def imbalance(self) -> float:
+        """Max over mean per-thread busy seconds (1.0 = perfect balance) —
+        the load metric the distribution policies minimize; directly
+        comparable with :attr:`repro.perf.RunProfile.imbalance`."""
+        from ..parallel.balance import imbalance_ratio
+
+        return imbalance_ratio(self.busy_seconds)
 
     def decomposition(self) -> dict:
         """The shared predicted-vs-measured comparison shape (also
@@ -81,9 +89,22 @@ def simulate_trace(
     trace: Trace,
     machine: MachineSpec,
     n_threads: int,
-    distribution: str = "cyclic",
+    distribution=None,
 ) -> SimulationResult:
-    """Replay ``trace`` with ``n_threads`` workers on ``machine``."""
+    """Replay ``trace`` with ``n_threads`` workers on ``machine``.
+
+    ``distribution`` is any policy name from
+    :data:`repro.parallel.DISTRIBUTIONS` (``cyclic``, ``block``,
+    ``weighted``, ``lpt``) or a prebuilt
+    :class:`~repro.parallel.balance.DistributionPlan`; ``None`` (the
+    default) uses the policy stamped on the trace at capture time
+    (``trace.distribution``, itself defaulting to ``cyclic``).
+    """
+    # Imported lazily: repro.parallel.balance itself imports nothing from
+    # simmachine, but going through the repro.parallel package here at
+    # module scope would create an import cycle.
+    from ..parallel.balance import DistributionPlan, PartitionLayout, build_plan
+
     if trace.pattern_counts is None or trace.states is None:
         raise ValueError("trace not finalized: missing dataset geometry")
     if n_threads < 1:
@@ -94,18 +115,24 @@ def simulate_trace(
         )
 
     counts = trace.pattern_counts
-    offsets = np.concatenate([[0], np.cumsum(counts)[:-1]])
-    total_patterns = int(counts.sum())
     categories = trace.categories
     t = n_threads
 
-    # Precompute per-partition per-thread counts once per policy (they do
-    # not change between regions).
+    if distribution is None:
+        distribution = getattr(trace, "distribution", "cyclic")
+    if isinstance(distribution, DistributionPlan):
+        plan = distribution
+        if plan.n_threads != t:
+            raise ValueError(
+                f"plan built for {plan.n_threads} threads, simulating {t}"
+            )
+    else:
+        plan = build_plan(PartitionLayout.from_trace(trace), t, distribution)
+
+    # Per-partition per-thread counts are fixed per plan (they do not
+    # change between regions).
     shares: dict[int, np.ndarray] = {
-        p: partition_thread_counts(
-            distribution, int(offsets[p]), int(counts[p]), total_patterns, t
-        )
-        for p in range(len(counts))
+        p: plan.counts[p] for p in range(len(counts))
     }
 
     busy = np.zeros(t)
@@ -222,7 +249,7 @@ def simulate_trace(
     return SimulationResult(
         machine=machine.name,
         n_threads=t,
-        distribution=distribution,
+        distribution=plan.policy,
         total_seconds=total,
         busy_seconds=busy,
         idle_seconds=idle,
@@ -236,10 +263,11 @@ def speedup_curve(
     trace: Trace,
     machine: MachineSpec,
     thread_counts: list[int],
-    distribution: str = "cyclic",
+    distribution: str | None = None,
 ) -> dict[int, float]:
     """Speedups over the 1-thread replay for each thread count (the
-    quantity plotted in paper Fig. 6)."""
+    quantity plotted in paper Fig. 6).  ``distribution`` accepts any
+    policy name (default: the trace's capture-time policy)."""
     base = simulate_trace(trace, machine, 1, distribution).total_seconds
     return {
         n: base / simulate_trace(trace, machine, n, distribution).total_seconds

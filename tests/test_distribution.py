@@ -93,6 +93,53 @@ class TestDispatch:
             cyclic_indices(0, 10, 4, 9)
 
 
+class TestEdgeCases:
+    """Regression tests for degenerate geometries: zero-length partitions,
+    empty alignments, and more threads than patterns must be well-defined
+    (empty slices / zero counts), never errors."""
+
+    def test_zero_length_partition(self):
+        for policy in ("cyclic", "block"):
+            counts = partition_thread_counts(policy, 5, 0, 10, 4)
+            assert counts.tolist() == [0, 0, 0, 0]
+        assert cyclic_indices(5, 0, 4, 2).size == 0
+        assert block_indices(5, 0, 10, 4, 1).size == 0
+
+    def test_empty_alignment(self):
+        assert block_partition_counts(0, 0, 0, 8).tolist() == [0] * 8
+        assert block_indices(0, 0, 0, 8, 3).size == 0
+        assert cyclic_partition_counts(0, 0, 8).tolist() == [0] * 8
+
+    def test_more_threads_than_total(self):
+        for policy in ("cyclic", "block"):
+            counts = partition_thread_counts(policy, 0, 3, 3, 16)
+            assert counts.sum() == 3
+            assert counts.min() >= 0
+            merged = np.concatenate([
+                cyclic_indices(0, 3, 16, t) if policy == "cyclic"
+                else block_indices(0, 3, 3, 16, t)
+                for t in range(16)
+            ])
+            assert sorted(merged.tolist()) == [0, 1, 2]
+
+    def test_geometry_validation(self):
+        with pytest.raises(ValueError):
+            cyclic_partition_counts(-1, 5, 4)
+        with pytest.raises(ValueError):
+            cyclic_partition_counts(0, -1, 4)
+        with pytest.raises(ValueError, match="exceeds total"):
+            block_partition_counts(8, 5, 10, 4)
+        with pytest.raises(ValueError):
+            block_partition_counts(0, 5, -1, 4)
+        with pytest.raises(ValueError):
+            block_indices(0, 5, 10, 4, -1)
+
+    def test_cost_aware_policies_need_a_plan(self):
+        for policy in ("weighted", "lpt"):
+            with pytest.raises(ValueError, match="build_plan"):
+                partition_thread_counts(policy, 0, 10, 100, 4)
+
+
 class TestProperties:
     @given(
         st.integers(0, 500), st.integers(0, 300), st.integers(1, 32)

@@ -1,0 +1,70 @@
+"""Documentation health: internal links resolve, doctests pass.
+
+Two failure modes this guards against:
+
+* a Markdown document linking to a file that was moved/renamed (the
+  docs set cross-references README, DESIGN, EXPERIMENTS and docs/);
+* the executable examples in the distribution/balance docstrings
+  drifting from the code they document (they double as the worked
+  examples referenced by docs/LOAD_BALANCE.md).
+"""
+import doctest
+import re
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parent.parent
+
+#: Every tracked Markdown document with intra-repo links worth checking.
+DOCS = [
+    "README.md",
+    "DESIGN.md",
+    "EXPERIMENTS.md",
+    "docs/ARCHITECTURE.md",
+    "docs/LOAD_BALANCE.md",
+]
+
+_LINK = re.compile(r"\[[^\]]*\]\(([^)]+)\)")
+
+
+def _internal_targets(markdown: str):
+    """Link targets pointing inside the repo (skip web URLs/anchors)."""
+    for target in _LINK.findall(markdown):
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        yield target.split("#", 1)[0]
+
+
+@pytest.mark.parametrize("doc", DOCS)
+def test_internal_links_resolve(doc):
+    path = REPO / doc
+    assert path.exists(), f"documentation file {doc} is missing"
+    for target in _internal_targets(path.read_text()):
+        resolved = (path.parent / target).resolve()
+        assert resolved.exists(), f"{doc} links to missing {target!r}"
+
+
+@pytest.mark.parametrize("doc", DOCS)
+def test_referenced_repo_paths_exist(doc):
+    """Paths like ``src/repro/parallel/balance.py`` quoted in the docs
+    (the pointer tables) must exist — they are how readers navigate."""
+    text = (REPO / doc).read_text()
+    for quoted in re.findall(r"`((?:src|tests|benchmarks|docs|examples)/[\w./-]+)`", text):
+        assert (REPO / quoted).exists(), f"{doc} references missing {quoted!r}"
+
+
+@pytest.mark.parametrize(
+    "module_name",
+    [
+        "repro.parallel.distribution",
+        "repro.parallel.balance",
+        "repro.simmachine.costmodel",
+        "repro.simmachine.machine",
+    ],
+)
+def test_doctests(module_name):
+    module = __import__(module_name, fromlist=["_"])
+    result = doctest.testmod(module, verbose=False)
+    assert result.attempted > 0, f"{module_name} lost its doctests"
+    assert result.failed == 0
