@@ -1,0 +1,268 @@
+"""COMMS — Pipe-vs-shm and fused-vs-unfused overhead on real processes.
+
+The tentpole claim of the comms plane: for the batched optimizers the
+dominant IPC cost is synchronization round-trips and pickled result
+payloads, not kernel work.  Two instruments:
+
+*Isolated exchange latency* — a ``deriv`` broadcast with an empty active
+set does zero kernel work but still ships the full fixed-layout reply
+(2P floats per worker), so timing a long run of them measures the pure
+dispatch + barrier + reply-transport cost of each comms plane.  Same
+idea for fusion: one 3-step program vs the same 3 commands as separate
+broadcasts is exactly two barriers of difference.  These are stable even
+on an oversubscribed host and carry the hard assertions.
+
+*End-to-end optimizer matrix* — the newPAR branch optimizer across
+{pipe, shm} x {fused, unfused} on two workload shapes: ``txt4_style``
+(many tiny partitions, the TXT4 slowdown regime where barrier count
+dominates) and ``kernel_style`` (few large partitions, compute-heavy).
+Wall clock is reported for context; the asserted quantities are the
+deterministic per-round barrier counts and bytes moved.
+
+Committed output: ``results/BENCH_comms.json`` (quoted by EXPERIMENTS.md
+and summarized by the CI perf-smoke job) plus the usual text table.
+"""
+import json
+import statistics
+import time
+
+import numpy as np
+import pytest
+
+from conftest import write_result
+from repro.parallel import ParallelPLK, live_segments
+from repro.plk import PartitionedAlignment, SubstitutionModel, uniform_scheme
+from repro.seqgen import random_topology_with_lengths, simulate_alignment
+
+WORKERS = 4
+REPEATS = 5
+
+WORKLOADS = {
+    # name: (taxa, partitions, sites_per_partition, edges)
+    "txt4_style": (8, 32, 16, 3),
+    "kernel_style": (8, 4, 500, 3),
+}
+
+
+def build(n_parts, part_len, taxa=8):
+    sites = n_parts * part_len
+    rng = np.random.default_rng(17)
+    tree, lengths = random_topology_with_lengths(taxa, rng)
+    aln = simulate_alignment(
+        tree, lengths, SubstitutionModel.random_gtr(0), 1.0, sites, rng
+    )
+    data = PartitionedAlignment(aln, uniform_scheme(sites, part_len))
+    models = [SubstitutionModel.random_gtr(p) for p in range(n_parts)]
+    alphas = [1.0] * n_parts
+    return data, tree, lengths, models, alphas
+
+
+# -- isolated comms-plane latency (the hard-asserted instrument) ----------
+
+def exchange_latency(comms, n_parts=64, workers=2, n_exchanges=600):
+    """Best-of-3 mean seconds per empty-deriv exchange: full-size reply,
+    zero kernel work."""
+    data, tree, lengths, models, alphas = build(n_parts, 4, taxa=6)
+    with ParallelPLK(
+        data, tree, models, alphas, workers, backend="processes",
+        comms=comms, initial_lengths=lengths,
+    ) as team:
+        handle = team.prepare_branch(0, list(range(n_parts)))
+        z = np.full(n_parts, 0.1)
+        for _ in range(50):  # warm-up
+            team._broadcast(("deriv", handle.token, z, []))
+        best = float("inf")
+        for _ in range(3):
+            t0 = time.perf_counter()
+            for _ in range(n_exchanges):
+                team._broadcast(("deriv", handle.token, z, []))
+            best = min(best, time.perf_counter() - t0)
+        stats = team.comms_stats()
+    return best / n_exchanges, stats
+
+
+def program_latency(fused, workers=2, n_rounds=400):
+    """Best-of-3 mean seconds per prepare+deriv+release round, issued as
+    ONE fused program vs three separate broadcasts (two extra barriers).
+    Tiny partitions keep the sumtable work negligible, so the round is
+    barrier-dominated — the regime fusion targets."""
+    data, tree, lengths, models, alphas = build(4, 4, taxa=6)
+    n = data.n_partitions
+    every = list(range(n))
+    z = np.full(n, 0.1)
+    with ParallelPLK(
+        data, tree, models, alphas, workers, backend="processes",
+        initial_lengths=lengths,
+    ) as team:
+        def round_(token):
+            if fused:
+                team.run_program((
+                    ("prepare", 0, token, every),
+                    ("deriv", token, z, []),
+                    ("release", token),
+                ))
+            else:
+                team._broadcast(("prepare", 0, token, every))
+                team._broadcast(("deriv", token, z, []))
+                team._broadcast(("release", token))
+
+        for i in range(30):  # warm-up
+            round_(10_000 + i)
+        best = float("inf")
+        for rep in range(3):
+            t0 = time.perf_counter()
+            for i in range(n_rounds):
+                round_(20_000 + rep * n_rounds + i)
+            best = min(best, time.perf_counter() - t0)
+    return best / n_rounds
+
+
+# -- end-to-end optimizer matrix (reported; deterministic parts asserted) --
+
+def measure(workload, comms, fused):
+    """Median wall seconds of one optimizer round, plus barrier count and
+    cumulative bytes moved per round (team start-up excluded)."""
+    taxa, n_parts, part_len, n_edges = WORKLOADS[workload]
+    data, tree, lengths, models, alphas = build(n_parts, part_len, taxa)
+    edges = list(range(n_edges))
+    with ParallelPLK(
+        data, tree, models, alphas, WORKERS, backend="processes",
+        comms=comms, fuse_programs=fused, initial_lengths=lengths,
+    ) as team:
+        z0 = np.tile(0.1, (len(edges), n_parts))
+        team.optimize_branches(edges, "new", lengths0=z0)  # warm-up round
+        barriers0 = team.commands_issued
+        bytes0 = dict(team.comms_stats())
+        walls = []
+        for _ in range(REPEATS):
+            t0 = time.perf_counter()
+            team.optimize_branches(edges, "new", lengths0=z0)
+            walls.append(time.perf_counter() - t0)
+        stats = team.comms_stats()
+        barriers = (team.commands_issued - barriers0) / REPEATS
+        pipe_bytes = (stats["pipe_tx_bytes"] + stats["pipe_rx_bytes"]
+                      - bytes0["pipe_tx_bytes"] - bytes0["pipe_rx_bytes"]) / REPEATS
+        shm_bytes = (stats["shm_rx_bytes"] - bytes0["shm_rx_bytes"]) / REPEATS
+    return {
+        "comms": comms,
+        "fused": fused,
+        "wall_ms": statistics.median(walls) * 1e3,
+        "barriers_per_round": barriers,
+        "pipe_bytes_per_round": pipe_bytes,
+        "shm_bytes_per_round": shm_bytes,
+    }
+
+
+def _row(rows, comms, fused):
+    return next(r for r in rows if r["comms"] == comms and r["fused"] == fused)
+
+
+@pytest.fixture(scope="module")
+def results():
+    latency = {}
+    for comms in ("pipe", "shm"):
+        seconds, stats = exchange_latency(comms)
+        latency[comms] = {
+            "us_per_exchange": seconds * 1e6,
+            "pipe_rx_bytes": stats["pipe_rx_bytes"],
+            "shm_rx_bytes": stats["shm_rx_bytes"],
+        }
+    fusion = {
+        "fused_us": program_latency(True) * 1e6,
+        "unfused_us": program_latency(False) * 1e6,
+    }
+    matrix = {}
+    for workload in WORKLOADS:
+        matrix[workload] = [
+            measure(workload, comms, fused)
+            for comms in ("pipe", "shm")
+            for fused in (True, False)
+        ]
+    assert live_segments() == []  # every team tears its segments down
+    return {"exchange_latency": latency, "program_fusion": fusion,
+            "optimizer_matrix": matrix}
+
+
+@pytest.mark.timeout(900)
+def test_comms_overhead_report(results, results_dir):
+    latency = results["exchange_latency"]
+    fusion = results["program_fusion"]
+    matrix = results["optimizer_matrix"]
+    lines = [
+        "COMMS: process-backend comms-plane overhead",
+        "",
+        "isolated exchange (empty deriv, 64 partitions, 2 workers, "
+        "best of 3x600):",
+        f"  pipe {latency['pipe']['us_per_exchange']:7.1f} us/exchange",
+        f"  shm  {latency['shm']['us_per_exchange']:7.1f} us/exchange  "
+        f"({latency['pipe']['us_per_exchange'] / latency['shm']['us_per_exchange']:.2f}x)",
+        "",
+        "prepare+deriv+release round (4 tiny partitions, 2 workers, "
+        "best of 3x400):",
+        f"  1 fused barrier   {fusion['fused_us']:7.1f} us/round",
+        f"  3 plain barriers  {fusion['unfused_us']:7.1f} us/round  "
+        f"({fusion['unfused_us'] / fusion['fused_us']:.2f}x)",
+        "",
+        f"newPAR optimizer, {WORKERS} worker processes, median of "
+        f"{REPEATS} rounds:",
+        f"{'workload':<14} {'comms':<5} {'fused':<6} {'wall[ms]':>9} "
+        f"{'barriers':>9} {'pipe[B]':>9} {'shm[B]':>8}",
+        "-" * 66,
+    ]
+    for workload, rows in matrix.items():
+        for r in rows:
+            lines.append(
+                f"{workload:<14} {r['comms']:<5} {str(r['fused']):<6} "
+                f"{r['wall_ms']:>9.1f} {r['barriers_per_round']:>9.1f} "
+                f"{r['pipe_bytes_per_round']:>9.0f} "
+                f"{r['shm_bytes_per_round']:>8.0f}"
+            )
+    for workload, rows in matrix.items():
+        fused = _row(rows, "shm", True)
+        base = _row(rows, "pipe", False)
+        lines.append(
+            f"{workload}: shm+fused vs pipe+unfused = "
+            f"{base['barriers_per_round'] / fused['barriers_per_round']:.2f}x "
+            f"barriers, {base['pipe_bytes_per_round'] / fused['pipe_bytes_per_round']:.2f}x "
+            "pipe bytes"
+        )
+    write_result(results_dir, "BENCH_comms", "\n".join(lines))
+    (results_dir / "BENCH_comms.json").write_text(json.dumps(
+        {"workers": WORKERS, "repeats": REPEATS, **results}, indent=2,
+    ) + "\n")
+
+
+@pytest.mark.timeout(900)
+def test_shm_beats_pipe_on_exchange_latency(results):
+    """ISSUE acceptance: --comms shm beats pipe on the comms
+    microbenchmark — the reply payload moves through shared memory and
+    the pipe round-trip carries only the ready token."""
+    latency = results["exchange_latency"]
+    assert (latency["shm"]["us_per_exchange"]
+            < latency["pipe"]["us_per_exchange"])
+    assert latency["shm"]["shm_rx_bytes"] > 0
+    assert latency["shm"]["pipe_rx_bytes"] < latency["pipe"]["pipe_rx_bytes"]
+
+
+@pytest.mark.timeout(900)
+def test_fused_program_beats_separate_broadcasts(results):
+    """One barrier vs three for the same work: fusion must win, and by a
+    margin (two pipe round-trips saved per round)."""
+    fusion = results["program_fusion"]
+    assert fusion["fused_us"] < fusion["unfused_us"]
+
+
+@pytest.mark.timeout(900)
+def test_fusion_cuts_optimizer_barriers(results):
+    """Deterministic end-to-end effect: fused runs issue the same worker
+    commands over far fewer barriers, and the shm plane strictly reduces
+    pipe traffic at equal schedule."""
+    for workload, rows in results["optimizer_matrix"].items():
+        # each edge saves >= 5 barriers (fused prepare+deriv, fused
+        # guard+release, vectorized set_bl) -> 3 edges save >= 15
+        assert (_row(rows, "pipe", True)["barriers_per_round"]
+                <= _row(rows, "pipe", False)["barriers_per_round"] - 12)
+        assert (_row(rows, "shm", True)["pipe_bytes_per_round"]
+                < _row(rows, "pipe", True)["pipe_bytes_per_round"])
+        assert _row(rows, "shm", True)["shm_bytes_per_round"] > 0
+        assert _row(rows, "pipe", True)["shm_bytes_per_round"] == 0

@@ -125,6 +125,10 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--workers", type=int, default=workers_default)
         p.add_argument("--backend", choices=("threads", "processes"),
                        default="processes")
+        p.add_argument("--comms", choices=("pipe", "shm"), default="pipe",
+                       help="result transport for the processes backend: "
+                       "pickled pipe replies or the zero-copy shared-memory "
+                       "result plane (default: %(default)s)")
         p.add_argument("--distribution", choices=DISTRIBUTIONS,
                        default="cyclic")
         p.add_argument("--edges", type=int, default=6,
@@ -205,6 +209,8 @@ def _validate_workload(args: argparse.Namespace) -> str | None:
     if args.edges > n_edges:
         return (f"--edges {args.edges} exceeds the {n_edges} branches of a "
                 f"{args.taxa}-taxon unrooted tree")
+    if getattr(args, "comms", "pipe") == "shm" and args.backend != "processes":
+        return "--comms shm requires --backend processes"
     return None
 
 
@@ -409,6 +415,7 @@ def _run_profiled_strategies(
     from .perf import Profiler
 
     data, tree, lengths, models, alphas, edges = _build_workload(args)
+    comms = getattr(args, "comms", "pipe")
     profiles = {}
     for strategy in ("old", "new"):
         profiler = Profiler(meta={
@@ -419,7 +426,7 @@ def _run_profiled_strategies(
         with ParallelPLK(
             data, tree, models, alphas, args.workers,
             backend=args.backend, distribution=args.distribution,
-            initial_lengths=lengths, profiler=profiler,
+            comms=comms, initial_lengths=lengths, profiler=profiler,
         ) as team:
             if warmup:
                 # Untimed pass absorbs worker start-up / allocator / cache
@@ -432,7 +439,9 @@ def _run_profiled_strategies(
             team.optimize_branches(edges, strategy)
             if args.alpha:
                 team.optimize_alpha(strategy)
+            stats = team.comms_stats()
         profiles[strategy] = profiler.profile()
+        profiles[strategy].meta.update(stats)
     return profiles
 
 
@@ -455,7 +464,14 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     )
     profiles = _run_profiled_strategies(args, warmup=args.warmup)
     for strategy in ("old", "new"):
-        print(f"\n{strategy}PAR\n{profiles[strategy].summary()}")
+        prof = profiles[strategy]
+        print(f"\n{strategy}PAR\n{prof.summary()}")
+        if "comms" in prof.meta:
+            pipe = prof.meta.get("pipe_tx_bytes", 0) + prof.meta.get(
+                "pipe_rx_bytes", 0
+            )
+            print(f"  comms ({prof.meta['comms']}): pipe {pipe} B, "
+                  f"shm {prof.meta.get('shm_rx_bytes', 0)} B")
     print("\n" + compare_strategies(profiles["old"], profiles["new"]).summary())
 
     if args.out:
@@ -520,6 +536,7 @@ def _cmd_timeline(args: argparse.Namespace) -> int:
         with ParallelPLK(
             data, tree, models, alphas, args.workers,
             backend=args.backend, distribution=args.distribution,
+            comms=getattr(args, "comms", "pipe"),
             initial_lengths=lengths, profiler=profiler,
             tracer=tracer, metrics=metrics, telemetry=telemetry,
         ) as team:
@@ -535,8 +552,12 @@ def _cmd_timeline(args: argparse.Namespace) -> int:
             if name.startswith("broadcasts.") and name != "broadcasts.total"
         }
         total = int(snap.get("broadcasts.total", {}).get("value", 0))
+        n_cmds = int(snap.get("commands.total", {}).get("value", 0))
         print(f"broadcasts: {total} total  "
               + "  ".join(f"{k}={v}" for k, v in sorted(counts.items())))
+        if total:
+            print(f"commands: {n_cmds} over {total} barriers "
+                  f"({n_cmds / total:.2f} commands/barrier)")
         waits = snap.get("barrier_wait_seconds")
         if waits and waits["count"]:
             print(f"barrier wait: n={waits['count']} "
@@ -603,6 +624,7 @@ def _cmd_balance(args: argparse.Namespace) -> int:
         with ParallelPLK(
             data, tree, models, alphas, args.workers,
             backend=args.backend, distribution=policy,
+            comms=getattr(args, "comms", "pipe"),
             initial_lengths=lengths, profiler=profiler,
         ) as team:
             team.optimize_branches(edges, args.strategy)
@@ -682,7 +704,7 @@ def _cmd_perfcheck(args: argparse.Namespace) -> int:
         workload = {
             key: getattr(args, key)
             for key in ("taxa", "sites", "partitions", "workers", "backend",
-                        "distribution", "edges", "alpha", "seed")
+                        "comms", "distribution", "edges", "alpha", "seed")
         }
         write_baseline(baseline_path, profiles, workload)
         print(f"froze baseline {baseline_path}")

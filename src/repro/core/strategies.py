@@ -193,8 +193,21 @@ def optimize_branch(
         return np.full(n_parts, iters, dtype=np.int64)
 
     if strategy == "new":
-        workspaces = engine.prepare_branch_all(edge)
         solver = BatchedNewton(BRANCH_MIN, BRANCH_MAX, ztol, max_iter)
+        # Fused opening region (the parallel backends' prepare+deriv
+        # Program): sumtable setup and the first derivative pass share
+        # ONE region — one broadcast/barrier instead of two.  The
+        # simulator charges dispatch + barrier once per region, so the
+        # fusion shows up directly in predicted sync seconds.
+        z_first = solver.initial_point(z0)
+        d1_first = np.zeros(n_parts)
+        d2_first = np.zeros(n_parts)
+        with _region(engine, "nr_new"):
+            workspaces = [part.prepare_branch(edge) for part in engine.parts]
+            for p in range(n_parts):
+                d1_first[p], d2_first[p] = engine.parts[p].branch_derivatives(
+                    workspaces[p], float(z_first[p])
+                )
 
         def batched_fn(z: np.ndarray, active: np.ndarray):
             d1 = np.zeros(n_parts)
@@ -207,7 +220,8 @@ def optimize_branch(
             return d1, d2
 
         res = solver.run(
-            batched_fn, z0, observer=engine.telemetry.start("nr_branch", n_parts)
+            batched_fn, z0, observer=engine.telemetry.start("nr_branch", n_parts),
+            first_eval=(d1_first, d2_first),
         )
         # Monotonicity guard (one batched evaluation region): keep each
         # partition's new length only where the likelihood improved.

@@ -40,6 +40,7 @@ __all__ = [
     "COMMAND_KINDS",
     "REGION_KINDS",
     "command_kind",
+    "describe_command",
 ]
 
 KNOWN_OPS = ("newview", "sumtable", "derivative", "evaluate")
@@ -64,15 +65,44 @@ COMMAND_KINDS = {
     "prepare": "sumtable",
     "deriv": "derivative",
     "set_bl": "control",
+    "set_bl_vec": "control",
     "set_alpha": "control",
+    "set_alpha_vec": "control",
     "set_model": "control",
     "release": "control",
+    # Fused programs are classified by their first non-control step via
+    # describe_command(); this entry is the all-control degenerate case.
+    "prog": "control",
 }
 
 
 def command_kind(op: str) -> str:
     """The region kind of a parallel-backend command (default: control)."""
     return COMMAND_KINDS.get(op, "control")
+
+
+def describe_command(cmd: tuple) -> tuple[str, str, int]:
+    """``(label, region_kind, n_commands)`` of one master broadcast.
+
+    Plain commands describe themselves (``n_commands == 1``).  A fused
+    program ``("prog", steps)`` is ONE broadcast/barrier executing
+    ``len(steps)`` worker commands: it is labelled ``prog(op1+op2+...)``
+    and classified by its first non-control step, so e.g. a
+    prepare+derivative program profiles as a single sumtable region —
+    one barrier, not two.  This is the same accounting the simulator
+    applies: a multi-op region is charged dispatch + barrier once.
+    """
+    op = cmd[0]
+    if op != "prog":
+        return op, command_kind(op), 1
+    ops = [step[0] for step in cmd[1]]
+    kind = "control"
+    for o in ops:
+        k = command_kind(o)
+        if k != "control":
+            kind = k
+            break
+    return "prog(" + "+".join(ops) + ")", kind, len(ops)
 
 
 @dataclass(frozen=True)

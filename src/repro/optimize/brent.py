@@ -97,31 +97,49 @@ class BatchedBrent:
         self.xtol = float(xtol)
         self.max_iter = int(max_iter)
 
+    def initial_point(self, guess: np.ndarray | None = None) -> np.ndarray:
+        """The first probe point :meth:`run` evaluates for this guess —
+        callers that fuse the opening objective evaluation into a
+        preceding exchange (command fusion) must evaluate exactly this
+        point and hand the values back via ``first_fx``."""
+        a, b = self.lower, self.upper
+        if guess is None:
+            return a + _GOLD * (b - a)
+        g = np.atleast_1d(np.asarray(guess, dtype=np.float64))
+        pad = self.xtol + _SQRT_EPS * np.abs(g)
+        # A bracket narrower than 2*pad would make the clip bounds
+        # cross (np.clip with min > max returns max, i.e. x > b);
+        # cap the pad at half the bracket width so a+pad <= b-pad.
+        pad = np.minimum(pad, 0.5 * (b - a))
+        return np.clip(g, a + pad, b - pad)
+
     def run(
         self,
         fn: Callable[[np.ndarray, np.ndarray], np.ndarray],
         guess: np.ndarray | None = None,
         mask: np.ndarray | None = None,
         observer=None,
+        first_fx: np.ndarray | None = None,
     ) -> BrentResult:
+        """Run the lock-step solve.
+
+        ``first_fx``, if given, is the precomputed objective at
+        :meth:`initial_point` ``(guess)`` under the full initial mask,
+        consumed in place of the first ``fn`` call (command fusion).
+        Observer callbacks and iteration counts are unchanged.
+        """
         k = self.lower.shape[0]
         a = self.lower.copy()
         b = self.upper.copy()
         lanes = np.ones(k, dtype=bool) if mask is None else np.asarray(mask, bool).copy()
 
         # Initial point: caller's guess clipped inside, else golden split.
-        if guess is None:
-            x = a + _GOLD * (b - a)
-        else:
-            g = np.atleast_1d(np.asarray(guess, dtype=np.float64))
-            pad = self.xtol + _SQRT_EPS * np.abs(g)
-            # A bracket narrower than 2*pad would make the clip bounds
-            # cross (np.clip with min > max returns max, i.e. x > b);
-            # cap the pad at half the bracket width so a+pad <= b-pad.
-            pad = np.minimum(pad, 0.5 * (b - a))
-            x = np.clip(g, a + pad, b - pad)
+        x = self.initial_point(guess)
         fx = np.full(k, np.inf)
-        fx[lanes] = np.asarray(fn(x, lanes), dtype=np.float64)[lanes]
+        if first_fx is not None:
+            fx[lanes] = np.asarray(first_fx, dtype=np.float64)[lanes]
+        else:
+            fx[lanes] = np.asarray(fn(x, lanes), dtype=np.float64)[lanes]
         if observer is not None:
             observer.iteration(x, lanes)
 

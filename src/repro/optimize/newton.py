@@ -73,13 +73,31 @@ class BatchedNewton:
         self.ztol = float(ztol)
         self.max_iter = int(max_iter)
 
+    def initial_point(self, z0: np.ndarray) -> np.ndarray:
+        """The first point :meth:`run` evaluates derivatives at for this
+        start — callers that fuse the opening derivative pass into a
+        preceding exchange (the parallel backends' prepare+deriv
+        :class:`~repro.parallel.program.Program`) must evaluate exactly
+        this point and hand the values back via ``first_eval``."""
+        return np.clip(np.asarray(z0, dtype=np.float64), self.lower, self.upper)
+
     def run(
         self,
         fn: Callable[[np.ndarray, np.ndarray], tuple[np.ndarray, np.ndarray]],
         z0: np.ndarray,
         mask: np.ndarray | None = None,
         observer=None,
+        first_eval: tuple[np.ndarray, np.ndarray] | None = None,
     ) -> NewtonResult:
+        """Run the lock-step solve.
+
+        ``first_eval``, if given, is a precomputed ``(d1, d2)`` pair for
+        the first round — the oracle's value at :meth:`initial_point`
+        ``(z0)`` under the full initial mask — consumed in place of the
+        first ``fn`` call (command fusion: the caller already paid for it
+        in an earlier exchange).  Observer callbacks and iteration counts
+        are unchanged.
+        """
         z = np.clip(np.asarray(z0, dtype=np.float64).copy(), self.lower, self.upper)
         k = z.shape[0]
         lanes = np.ones(k, dtype=bool) if mask is None else np.asarray(mask, bool).copy()
@@ -92,7 +110,11 @@ class BatchedNewton:
                 break
             d1 = np.zeros(k)
             d2 = np.zeros(k)
-            r1, r2 = fn(z, active)
+            if first_eval is not None:
+                r1, r2 = first_eval
+                first_eval = None
+            else:
+                r1, r2 = fn(z, active)
             d1[active] = np.asarray(r1, dtype=np.float64)[active]
             d2[active] = np.asarray(r2, dtype=np.float64)[active]
             if observer is not None:

@@ -21,6 +21,8 @@ from .balance import (
     pattern_weight,
 )
 from .engine import ParallelPLK, WorkerError
+from .program import Program
+from .shm import SharedInputArena, SharedResultPlane, live_segments
 from .worker import WorkerState, slice_partition_data
 
 __all__ = [
@@ -30,9 +32,13 @@ __all__ = [
     "DistributionPlan",
     "ParallelPLK",
     "PartitionLayout",
+    "Program",
     "Rebalancer",
+    "SharedInputArena",
+    "SharedResultPlane",
     "WorkerError",
     "WorkerState",
+    "live_segments",
     "block_indices",
     "block_partition_counts",
     "build_plan",

@@ -22,6 +22,7 @@ Backend notes
 from __future__ import annotations
 
 import itertools
+import pickle
 import threading
 import traceback
 from dataclasses import dataclass
@@ -30,7 +31,7 @@ import multiprocessing as mp
 
 import numpy as np
 
-from ..core.trace import command_kind
+from ..core.trace import describe_command
 from ..obs.convergence import NullTelemetry
 from ..obs.metrics import NullMetrics
 from ..obs.tracer import NullTracer
@@ -39,12 +40,18 @@ from ..optimize.brent import BatchedBrent
 from ..plk.partition import PartitionedAlignment
 from ..plk.tree import Tree
 from .balance import DistributionPlan, PartitionLayout, build_plan, imbalance_ratio
+from .program import Program, decode_results, encode_results, result_shapes, result_width
+from .shm import SharedInputArena, SharedResultPlane
 from .worker import WorkerState, slice_partition_data
 
 __all__ = ["ParallelPLK", "WorkerError"]
 
 _BRANCH_MIN, _BRANCH_MAX = 1e-8, 50.0
 _ALPHA_MIN, _ALPHA_MAX = 0.02, 100.0
+
+# Bucket edges for the commands-per-barrier histogram (a plain command is
+# 1; the fused optimizer programs land at 2-3; headroom above).
+_COMMANDS_PER_BARRIER_BUCKETS = (1.5, 2.5, 3.5, 4.5, 6.5, 8.5, 16.5)
 
 
 class WorkerError(RuntimeError):
@@ -70,8 +77,19 @@ class WorkerError(RuntimeError):
         super().__init__(msg)
 
 
-# Result-slot tags used by both backends' reply protocol.
-_OK, _ERR = "ok", "err"
+# Result-slot tags used by both backends' reply protocol.  _SHM marks a
+# reply whose payload was written into the worker's shared-memory result
+# row (the pipe carries only the tag + busy seconds).
+_OK, _ERR, _SHM = "ok", "err", "shm"
+
+#: Zeroed comms statistics (the threads backend shares one address space,
+#: so nothing crosses a pipe and nothing needs a shm plane).
+_LOCAL_COMMS_STATS = {
+    "comms": "local",
+    "pipe_tx_bytes": 0,
+    "pipe_rx_bytes": 0,
+    "shm_rx_bytes": 0,
+}
 
 
 class _ThreadTeam:
@@ -146,6 +164,10 @@ class _ThreadTeam:
         """As :meth:`broadcast`, plus each worker's execute() seconds."""
         return self._exchange(cmd, timed=True)
 
+    def comms_stats(self) -> dict:
+        """Bytes-moved counters (all zero: threads share memory)."""
+        return dict(_LOCAL_COMMS_STATS)
+
     def close(self) -> None:
         if self._closed:
             return
@@ -159,8 +181,11 @@ class _ThreadTeam:
             t.join(timeout=5)
 
 
-def _process_worker_main(conn, slices, tree, models, alphas, lengths, categories):
+def _process_worker_main(
+    conn, slices, tree, models, alphas, lengths, categories, result_row=None
+):
     state = WorkerState(slices, tree, models, alphas, lengths, categories)
+    n_parts = len(state.parts)
     while True:
         try:
             cmd, timed = conn.recv()
@@ -172,9 +197,15 @@ def _process_worker_main(conn, slices, tree, models, alphas, lengths, categories
         try:
             if timed:
                 value, busy = state.execute_timed(cmd)
-                reply = (_OK, value, busy)
             else:
-                reply = (_OK, state.execute(cmd), 0.0)
+                value, busy = state.execute(cmd), 0.0
+            if result_row is not None:
+                shapes = result_shapes(cmd)
+                if shapes is not None and result_width(shapes, n_parts) <= result_row.size:
+                    encode_results(result_row, cmd, value, shapes, n_parts)
+                    conn.send((_SHM, None, busy))
+                    continue
+            reply = (_OK, value, busy)
         except BaseException as exc:  # noqa: BLE001 - shipped to the master
             tb = traceback.format_exc()
             try:
@@ -193,12 +224,41 @@ class _ProcessTeam:
     Worker-side exceptions are caught in the child and shipped back over
     the pipe (same slot protocol as :class:`_ThreadTeam`).  If a child
     *dies* outright, the master's ``recv`` sees ``EOFError``: the team is
-    then terminated cleanly (no leaked processes) and a
-    :class:`WorkerError` names the dead rank.
+    then terminated cleanly (no leaked processes, no leaked shared-memory
+    segments) and a :class:`WorkerError` names the dead rank.
+
+    ``comms`` selects the result transport: ``"pipe"`` pickles every
+    reply over the pipe; ``"shm"`` builds the zero-copy plane of
+    :mod:`repro.parallel.shm` — tip/weight slices shipped once through a
+    shared input arena, fixed-layout float64 result slots written in
+    place, the pipe carrying only a tiny ready token per reply.  The
+    command direction always uses the pipe (commands are tiny), pickled
+    once per broadcast rather than once per worker.  Cumulative
+    ``pipe_tx_bytes`` / ``pipe_rx_bytes`` / ``shm_rx_bytes`` counters
+    feed the comms metrics.
     """
 
-    def __init__(self, worker_args: list[tuple]):
+    def __init__(self, worker_args: list[tuple], comms: str = "pipe",
+                 n_partitions: int = 0):
         ctx = mp.get_context("fork")
+        self.comms = comms
+        self.n_partitions = n_partitions
+        self.pipe_tx_bytes = 0
+        self.pipe_rx_bytes = 0
+        self.shm_rx_bytes = 0
+        self._arena: SharedInputArena | None = None
+        self._plane: SharedResultPlane | None = None
+        if comms == "shm":
+            # Both structures are created BEFORE fork so the children
+            # inherit the mappings — nothing is pickled or re-attached
+            # (attach-after-fork would double-register the segments with
+            # the resource tracker on Python < 3.13).
+            self._arena = SharedInputArena([args[0] for args in worker_args])
+            self._plane = SharedResultPlane(len(worker_args), n_partitions)
+            worker_args = [
+                (self._arena.worker_slices[i], *args[1:], self._plane.row(i))
+                for i, args in enumerate(worker_args)
+            ]
         self.conns = []
         self.procs = []
         self._closed = False
@@ -215,29 +275,42 @@ class _ProcessTeam:
     def _exchange(self, cmd: tuple, timed: bool) -> tuple[list, list[float]]:
         if self._closed:
             raise RuntimeError("worker team is closed")
+        # One pickle for the whole team (not one per worker); byte-counted
+        # send/recv so the comms metrics see real traffic.
+        payload = pickle.dumps((cmd, timed))
         for rank, conn in enumerate(self.conns):
             try:
-                conn.send((cmd, timed))
+                conn.send_bytes(payload)
+                self.pipe_tx_bytes += len(payload)
             except (BrokenPipeError, OSError) as exc:
                 self.close()
                 raise WorkerError(
                     rank, exc, "worker process died before dispatch; team terminated"
                 ) from exc
+        shapes = result_shapes(cmd) if self._plane is not None else None
         n = len(self.conns)
         results: list = [None] * n
         times = [0.0] * n
         failure: WorkerError | None = None
         for rank, conn in enumerate(self.conns):
             try:
-                tag, payload, extra = conn.recv()
+                data = conn.recv_bytes()
             except (EOFError, BrokenPipeError, OSError) as exc:
                 self.close()
                 raise WorkerError(
                     rank, exc, "worker process died mid-command; team terminated"
                 ) from exc
+            self.pipe_rx_bytes += len(data)
+            tag, payload, extra = pickle.loads(data)
             if tag == _ERR:
                 if failure is None:
                     failure = WorkerError(rank, payload, extra)
+            elif tag == _SHM:
+                results[rank] = decode_results(
+                    self._plane.row(rank), cmd, shapes, self.n_partitions
+                )
+                self.shm_rx_bytes += result_width(shapes, self.n_partitions) * 8
+                times[rank] = extra
             else:
                 results[rank] = payload
                 times[rank] = extra
@@ -251,6 +324,15 @@ class _ProcessTeam:
     def broadcast_timed(self, cmd: tuple) -> tuple[list, list[float]]:
         """As :meth:`broadcast`, plus each worker's execute() seconds."""
         return self._exchange(cmd, timed=True)
+
+    def comms_stats(self) -> dict:
+        """Cumulative bytes moved over each transport."""
+        return {
+            "comms": self.comms,
+            "pipe_tx_bytes": self.pipe_tx_bytes,
+            "pipe_rx_bytes": self.pipe_rx_bytes,
+            "shm_rx_bytes": self.shm_rx_bytes,
+        }
 
     def close(self) -> None:
         if self._closed:
@@ -267,6 +349,12 @@ class _ProcessTeam:
             if proc.is_alive():
                 proc.terminate()
                 proc.join(timeout=5)
+        # Unlink the shared segments last, after every worker is gone —
+        # including the worker-death paths, which route through here.
+        if self._arena is not None:
+            self._arena.close()
+        if self._plane is not None:
+            self._plane.close()
 
 
 @dataclass
@@ -298,6 +386,19 @@ class ParallelPLK:
         :class:`~repro.parallel.balance.Rebalancer`).  The resolved plan
         is exposed as ``self.plan`` and its policy name as
         ``self.distribution``.
+    comms:
+        Result transport for the ``processes`` backend: ``"pipe"``
+        (pickled replies, the default) or ``"shm"`` (the zero-copy
+        shared-memory plane of :mod:`repro.parallel.shm`).  The threads
+        backend shares one address space and reports ``"local"``.
+    fuse_programs:
+        When True (default), the batched optimizers issue fused
+        :class:`~repro.parallel.program.Program` broadcasts — e.g.
+        prepare + first derivative pass in ONE exchange, the whole
+        monotonicity guard in another, vectorized parameter writes —
+        cutting the barrier count per optimizer round by 2-4x.  Set
+        False to reproduce the one-command-per-barrier schedule (the
+        comms-overhead ablation baseline).
     profiler:
         A :class:`repro.perf.Profiler` to record per-command region
         timings (master wall time + each worker's execute time), or
@@ -330,6 +431,8 @@ class ParallelPLK:
         distribution: str | DistributionPlan = "cyclic",
         initial_lengths: np.ndarray | None = None,
         categories: int = 4,
+        comms: str = "pipe",
+        fuse_programs: bool = True,
         profiler=None,
         tracer=None,
         metrics=None,
@@ -339,6 +442,10 @@ class ParallelPLK:
             raise ValueError("need at least one worker")
         if backend not in ("threads", "processes"):
             raise ValueError("backend must be 'threads' or 'processes'")
+        if comms not in ("pipe", "shm"):
+            raise ValueError("comms must be 'pipe' or 'shm'")
+        if comms == "shm" and backend != "processes":
+            raise ValueError("comms='shm' requires the processes backend")
         if profiler is None:
             from ..perf import NullProfiler
 
@@ -350,6 +457,8 @@ class ParallelPLK:
         self.n_partitions = data.n_partitions
         self.n_workers = n_workers
         self.backend = backend
+        self.comms = comms if backend == "processes" else "local"
+        self.fuse_programs = bool(fuse_programs)
         self.commands_issued = 0
         self._token = itertools.count()
         if isinstance(distribution, DistributionPlan):
@@ -385,10 +494,12 @@ class ParallelPLK:
                 [
                     (sl, tree.copy(), models, alphas, initial_lengths, categories)
                     for sl in worker_slices
-                ]
+                ],
+                comms=comms,
+                n_partitions=self.n_partitions,
             )
         self.profiler.bind(backend=backend, n_workers=n_workers,
-                           distribution=self.distribution)
+                           distribution=self.distribution, comms=self.comms)
 
     # ------------------------------------------------------------------
 
@@ -404,10 +515,13 @@ class ParallelPLK:
         """One observed broadcast: a master-lane span for the command, a
         busy span per worker lane and the barrier-wait histogram samples
         (the latter two only when a :class:`~repro.perf.Profiler` is
-        attached — worker execute seconds come from its timed exchange)."""
+        attached — worker execute seconds come from its timed exchange).
+        A fused program traces as ONE span (label ``prog(op1+op2+...)``)
+        and counts as one broadcast of its dominant kind; the
+        ``commands.total`` counter and ``commands_per_barrier`` histogram
+        record how many worker commands the barrier amortized."""
         tracer, metrics, profiler = self.tracer, self.metrics, self.profiler
-        op = cmd[0]
-        kind = command_kind(op)
+        op, kind, n_cmds = describe_command(cmd)
         n_before = len(profiler.records) if profiler.enabled else 0
         t0 = tracer.now() if tracer.enabled else 0.0
         results = profiler.broadcast(self._team, cmd)
@@ -423,6 +537,17 @@ class ParallelPLK:
         if metrics.enabled:
             metrics.counter("broadcasts.total").inc()
             metrics.counter(f"broadcasts.{kind}").inc()
+            metrics.counter("commands.total").inc(n_cmds)
+            metrics.histogram(
+                "commands_per_barrier", bounds=_COMMANDS_PER_BARRIER_BUCKETS
+            ).observe(float(n_cmds))
+            stats = getattr(self._team, "comms_stats", None)
+            if stats is not None:
+                stats = stats()
+                metrics.gauge("comms.pipe_bytes").set(
+                    stats["pipe_tx_bytes"] + stats["pipe_rx_bytes"]
+                )
+                metrics.gauge("comms.shm_bytes").set(stats["shm_rx_bytes"])
             if record is not None:
                 metrics.histogram("region_wall_seconds").observe(record.wall)
                 metrics.histogram("sync_seconds").observe(record.sync)
@@ -446,6 +571,26 @@ class ParallelPLK:
                         imbalance_ratio(kind_busy)
                     )
         return results
+
+    def run_program(self, steps) -> list[list]:
+        """Execute an ordered list of worker commands as ONE fused
+        broadcast (a single barrier: the workers run the steps back to
+        back and reply once).
+
+        ``steps`` is a :class:`~repro.parallel.program.Program` or an
+        iterable of command tuples.  Returns, per step, the list of
+        per-worker partial results — exactly what ``len(steps)``
+        separate broadcasts would have produced, minus the barriers.
+        """
+        if isinstance(steps, Program):
+            steps = steps.steps
+        steps = tuple(tuple(s) for s in steps)
+        per_worker = self._broadcast(("prog", steps))
+        return [[worker[i] for worker in per_worker] for i in range(len(steps))]
+
+    def comms_stats(self) -> dict:
+        """The team's cumulative bytes-moved counters."""
+        return self._team.comms_stats()
 
     def close(self) -> None:
         self._team.close()
@@ -505,8 +650,28 @@ class ParallelPLK:
         if z0 is None:
             z0 = np.full(n, 0.1)
         if strategy == "new":
-            handle = self.prepare_branch(edge, list(range(n)))
+            z0 = np.asarray(z0, float)
+            every = list(range(n))
             solver = BatchedNewton(_BRANCH_MIN, _BRANCH_MAX, ztol)
+            first_eval = None
+            if self.fuse_programs:
+                # Fused opening exchange: sumtable setup AND the first
+                # derivative pass in ONE broadcast/barrier.
+                token = next(self._token)
+                handle = _PreparedBranch(token=token, edge=edge, partitions=tuple(every))
+                z_first = solver.initial_point(z0)
+                _, deriv_parts = self.run_program(
+                    (
+                        ("prepare", edge, token, every),
+                        ("deriv", token, z_first, every),
+                    )
+                )
+                first_eval = (
+                    np.sum([d[0] for d in deriv_parts], axis=0),
+                    np.sum([d[1] for d in deriv_parts], axis=0),
+                )
+            else:
+                handle = self.prepare_branch(edge, every)
 
             def fn(z: np.ndarray, active_mask: np.ndarray):
                 active = [int(i) for i in np.flatnonzero(active_mask)]
@@ -515,23 +680,40 @@ class ParallelPLK:
             with self.tracer.span("optimize_branch", cat="optimizer",
                                   edge=edge, strategy="new"):
                 res = solver.run(
-                    fn, np.asarray(z0, float),
+                    fn, z0,
                     observer=self.telemetry.start("nr_branch", n),
+                    first_eval=first_eval,
                 )
             # Monotonicity guard: keep only improvements (matches the
             # sequential strategies).
-            every = list(range(n))
-            old_lnl = np.sum(
-                self._broadcast(("branch_lnl", handle.token, np.asarray(z0, float), every)),
-                axis=0,
-            )
-            new_lnl = np.sum(
-                self._broadcast(("branch_lnl", handle.token, res.z, every)), axis=0
-            )
-            self.release(handle)
-            out = np.where(new_lnl >= old_lnl, res.z, np.asarray(z0, float))
-            for p in range(n):
-                self.set_branch_length(edge, float(out[p]), p)
+            if self.fuse_programs:
+                # Both guard evaluations and the workspace release in one
+                # barrier; the accept/reject decision needs the reduced
+                # sums, so the parameter write is a second (vectorized)
+                # broadcast rather than a fourth program step.
+                old_parts, new_parts, _ = self.run_program(
+                    (
+                        ("branch_lnl", handle.token, z0, every),
+                        ("branch_lnl", handle.token, res.z, every),
+                        ("release", handle.token),
+                    )
+                )
+                old_lnl = np.sum(old_parts, axis=0)
+                new_lnl = np.sum(new_parts, axis=0)
+                out = np.where(new_lnl >= old_lnl, res.z, z0)
+                self._broadcast(("set_bl_vec", edge, out))
+            else:
+                old_lnl = np.sum(
+                    self._broadcast(("branch_lnl", handle.token, z0, every)),
+                    axis=0,
+                )
+                new_lnl = np.sum(
+                    self._broadcast(("branch_lnl", handle.token, res.z, every)), axis=0
+                )
+                self.release(handle)
+                out = np.where(new_lnl >= old_lnl, res.z, z0)
+                for p in range(n):
+                    self.set_branch_length(edge, float(out[p]), p)
             return out
         if strategy == "old":
             out = np.zeros(n)
@@ -598,8 +780,12 @@ class ParallelPLK:
                     fn, guess=np.asarray(guess, float),
                     observer=self.telemetry.start("brent_alpha", n),
                 )
-            for p in range(n):
-                self.set_alpha(p, float(res.x[p]))
+            if self.fuse_programs:
+                # One vectorized write instead of P set_alpha broadcasts.
+                self._broadcast(("set_alpha_vec", res.x, list(range(n))))
+            else:
+                for p in range(n):
+                    self.set_alpha(p, float(res.x[p]))
             return res.x
         if strategy == "old":
             out = np.zeros(n)

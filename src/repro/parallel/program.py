@@ -1,0 +1,186 @@
+"""Fused command programs: many worker commands, ONE broadcast/barrier.
+
+The paper's cost model is synchronization: every master command costs one
+broadcast + barrier no matter how little work it carries.  The batched
+optimizers issue long sequences of tiny commands (prepare, then a
+derivative pass, then guard evaluations, then per-partition parameter
+writes) whose IPC round-trips dwarf the numpy kernel work.  A *program*
+packs an ordered list of those commands into a single exchange: the
+master broadcasts ``("prog", steps)`` once, each worker executes the
+steps back to back over its private pattern slice and returns one partial
+result per step, and the collective completion of the single exchange is
+the only barrier.  Worker-side results are already reduction-ready
+partials (partial lnL sums, partial (d1, d2) sums), so the master reduces
+exactly as it would have for ``len(steps)`` separate broadcasts — the
+fused exchange is semantically identical, just 1 barrier instead of N.
+
+This module also defines the *fixed result layout* used by the
+shared-memory result plane (:mod:`repro.parallel.shm`): every command's
+reply shape is derivable master-side from the command alone (a scalar, a
+``(P,)`` vector, a ``(d1, d2)`` pair of ``(P,)`` vectors, or nothing), so
+a worker can write its reply into a preallocated float64 row and the pipe
+only needs to carry a tiny "ready" token.  Commands with replies outside
+this vocabulary (unknown ops, non-float payloads) transparently fall back
+to the pickled-pipe reply; both sides derive the layout from the same
+table, so they always agree.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.trace import describe_command
+
+__all__ = [
+    "Program",
+    "RESULT_SHAPES",
+    "program_steps",
+    "result_shapes",
+    "result_width",
+    "encode_results",
+    "decode_results",
+]
+
+#: Reply shape per worker command op.  ``"scalar"`` -> one float,
+#: ``"vec"`` -> a ``(P,)`` float vector, ``"pair"`` -> a ``(d1, d2)``
+#: tuple of ``(P,)`` vectors, ``"none"`` -> no payload.  Ops absent from
+#: this table have replies the fixed layout cannot carry; exchanges
+#: containing them use the pickled pipe reply.
+RESULT_SHAPES = {
+    "lnl": "scalar",
+    "lnl_parts": "vec",
+    "branch_lnl": "vec",
+    "eval_alpha": "vec",
+    "deriv": "pair",
+    "prepare": "none",
+    "release": "none",
+    "set_bl": "none",
+    "set_bl_vec": "none",
+    "set_alpha": "none",
+    "set_alpha_vec": "none",
+    "set_model": "none",
+}
+
+
+@dataclass(frozen=True)
+class Program:
+    """An ordered list of worker commands fused into one broadcast.
+
+    ``steps`` is a tuple of ordinary command tuples (the same tuples
+    :class:`~repro.parallel.worker.WorkerState` executes one at a time);
+    the wire form is ``("prog", steps)``.  Programs do not nest and the
+    ``"stop"`` sentinel is not a step.
+    """
+
+    steps: tuple[tuple, ...]
+
+    def __post_init__(self) -> None:
+        if not self.steps:
+            raise ValueError("a program needs at least one step")
+        for step in self.steps:
+            if not isinstance(step, tuple) or not step:
+                raise ValueError(f"malformed program step {step!r}")
+            if step[0] in ("prog", "stop"):
+                raise ValueError(f"{step[0]!r} cannot be a program step")
+
+    @property
+    def command(self) -> tuple:
+        """The wire-format broadcast command."""
+        return ("prog", self.steps)
+
+    @property
+    def label(self) -> str:
+        """Human-readable tag, e.g. ``"prog(prepare+deriv)"``."""
+        return describe_command(self.command)[0]
+
+
+def program_steps(cmd: tuple) -> tuple[tuple, ...]:
+    """The worker commands a broadcast executes (one for plain commands)."""
+    return cmd[1] if cmd[0] == "prog" else (cmd,)
+
+
+def result_shapes(cmd: tuple) -> list[str] | None:
+    """Per-step reply shapes of a broadcast, or ``None`` if any step's
+    reply falls outside the fixed float64 layout (pipe fallback)."""
+    shapes = []
+    for step in program_steps(cmd):
+        shape = RESULT_SHAPES.get(step[0])
+        if shape is None:
+            return None
+        shapes.append(shape)
+    return shapes
+
+
+def _shape_width(shape: str, n_partitions: int) -> int:
+    if shape == "none":
+        return 0
+    if shape == "scalar":
+        return 1
+    if shape == "vec":
+        return n_partitions
+    if shape == "pair":
+        return 2 * n_partitions
+    raise ValueError(f"unknown result shape {shape!r}")
+
+
+def result_width(shapes: list[str], n_partitions: int) -> int:
+    """Total float64 slots one worker's reply occupies."""
+    return sum(_shape_width(s, n_partitions) for s in shapes)
+
+
+def encode_results(
+    row: np.ndarray, cmd: tuple, value, shapes: list[str], n_partitions: int
+) -> None:
+    """Worker side: write a broadcast's reply into this worker's row.
+
+    ``value`` is what ``WorkerState.execute(cmd)`` returned — the single
+    result for a plain command, the per-step result list for a program.
+    """
+    values = value if cmd[0] == "prog" else (value,)
+    off = 0
+    for shape, v in zip(shapes, values):
+        if shape == "none":
+            continue
+        if shape == "scalar":
+            row[off] = v
+            off += 1
+        elif shape == "vec":
+            row[off:off + n_partitions] = v
+            off += n_partitions
+        else:  # pair
+            d1, d2 = v
+            row[off:off + n_partitions] = d1
+            row[off + n_partitions:off + 2 * n_partitions] = d2
+            off += 2 * n_partitions
+
+
+def decode_results(
+    row: np.ndarray, cmd: tuple, shapes: list[str], n_partitions: int
+):
+    """Master side: reconstruct a worker's reply from its result row.
+
+    Returns exactly what the pickled-pipe reply would have carried: the
+    single result for a plain command, a per-step list for a program
+    (``None`` in the slots of result-less steps).
+    """
+    out = []
+    off = 0
+    for shape in shapes:
+        if shape == "none":
+            out.append(None)
+        elif shape == "scalar":
+            out.append(float(row[off]))
+            off += 1
+        elif shape == "vec":
+            out.append(row[off:off + n_partitions].copy())
+            off += n_partitions
+        else:  # pair
+            out.append(
+                (
+                    row[off:off + n_partitions].copy(),
+                    row[off + n_partitions:off + 2 * n_partitions].copy(),
+                )
+            )
+            off += 2 * n_partitions
+    return out if cmd[0] == "prog" else out[0]

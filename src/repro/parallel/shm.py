@@ -1,0 +1,190 @@
+"""Zero-copy shared-memory comms plane for the process backend.
+
+The pipe protocol pays two pickles per worker per exchange: the command
+going out and the partial result coming back.  For the batched
+optimizers the results are the dominant payload — per-partition float
+vectors every round.  Two structures built on
+:mod:`multiprocessing.shared_memory` remove that traffic:
+
+:class:`SharedInputArena`
+    every worker's tip/weight pattern slices packed into ONE segment,
+    built in the master *before* fork.  Children inherit the mapping
+    (``fork`` start method), so the big arrays are shipped exactly once
+    and are never pickled, copied-on-write aside.
+
+:class:`SharedResultPlane`
+    a ``(n_workers, capacity)`` float64 array of fixed-layout result
+    slots.  Worker ``w`` writes its partial reply (partial lnL, d1/d2
+    per partition, ...) straight into row ``w`` following the layout of
+    :mod:`repro.parallel.program`; the pipe reply shrinks to a tiny
+    ``("shm", None, busy_seconds)`` token.  Replies the layout cannot
+    carry fall back to the pickled pipe transparently.
+
+Segment lifecycle
+-----------------
+Segments are created by the master before fork and unlinked by the
+master's ``close()`` (also invoked on worker-death teardown) or, as a
+backstop, by a ``weakref.finalize`` when the owner is garbage-collected.
+Forked children inherit the Python objects too, so every cleanup path is
+guarded by the creating PID — a child exiting must never unlink a
+segment the master still uses.  Unlink happens before unmap so cleanup
+cannot be blocked by still-alive numpy views.  All segment names carry
+the :data:`SEGMENT_PREFIX` so tests and CI can assert nothing survives
+teardown (:func:`live_segments`).
+"""
+from __future__ import annotations
+
+import os
+import secrets
+import weakref
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from ..plk.partition import PartitionData
+
+__all__ = [
+    "SEGMENT_PREFIX",
+    "SharedInputArena",
+    "SharedResultPlane",
+    "live_segments",
+]
+
+SEGMENT_PREFIX = "repro_shm"
+
+
+def _aligned(nbytes: int) -> int:
+    """Round up to 8 bytes so every placed array stays float64-aligned."""
+    return (int(nbytes) + 7) & ~7
+
+
+def _cleanup(shm: shared_memory.SharedMemory, creator_pid: int) -> None:
+    if os.getpid() != creator_pid:
+        # Forked child: the master owns the segment; just let the child's
+        # mapping die with the process.
+        return
+    try:
+        shm.unlink()
+    except FileNotFoundError:
+        pass
+    try:
+        shm.close()
+    except BufferError:
+        # numpy views of the buffer are still alive somewhere; the /dev/shm
+        # entry is already gone (unlinked above), the mapping goes with the
+        # process.
+        pass
+
+
+class _Segment:
+    """One owned shared-memory segment: create in the master, unlink
+    exactly once, only ever from the creating process."""
+
+    def __init__(self, nbytes: int):
+        name = f"{SEGMENT_PREFIX}_{os.getpid()}_{secrets.token_hex(4)}"
+        self.shm = shared_memory.SharedMemory(
+            name=name, create=True, size=max(int(nbytes), 8)
+        )
+        self._finalizer = weakref.finalize(self, _cleanup, self.shm, os.getpid())
+
+    @property
+    def name(self) -> str:
+        return self.shm.name
+
+    @property
+    def buf(self):
+        return self.shm.buf
+
+    def close(self) -> None:
+        """Unlink + unmap (idempotent; no-op in forked children)."""
+        self._finalizer()
+
+
+def live_segments() -> list[str]:
+    """Names of repro-owned segments currently present in ``/dev/shm`` —
+    the leak check used by the tests and the CI perf-smoke job."""
+    shm_dir = "/dev/shm"
+    if not os.path.isdir(shm_dir):
+        return []
+    return sorted(n for n in os.listdir(shm_dir) if n.startswith(SEGMENT_PREFIX))
+
+
+class SharedInputArena:
+    """All workers' tip/weight pattern slices packed into one segment.
+
+    Build in the master BEFORE forking the team: the returned
+    :attr:`worker_slices` (same nested shape as the input, but every
+    array a read-only view into the segment) are what the worker
+    processes receive, so startup ships each slice exactly once.
+    """
+
+    def __init__(self, worker_slices: list[list[PartitionData]]):
+        total = 0
+        for slices in worker_slices:
+            for sl in slices:
+                total += _aligned(sl.tip_states.nbytes) + _aligned(sl.weights.nbytes)
+        self._segment = _Segment(total)
+        self.nbytes = total
+        self._offset = 0
+        self.worker_slices: list[list[PartitionData]] | None = [
+            [self._share(sl) for sl in slices] for slices in worker_slices
+        ]
+
+    def _share(self, sl: PartitionData) -> PartitionData:
+        return PartitionData(
+            partition=sl.partition,
+            tip_states=self._place(sl.tip_states),
+            weights=self._place(sl.weights),
+        )
+
+    def _place(self, arr: np.ndarray) -> np.ndarray:
+        view = np.ndarray(
+            arr.shape, dtype=arr.dtype, buffer=self._segment.buf, offset=self._offset
+        )
+        view[...] = arr
+        view.flags.writeable = False
+        self._offset += _aligned(arr.nbytes)
+        return view
+
+    @property
+    def name(self) -> str:
+        return self._segment.name
+
+    def close(self) -> None:
+        self.worker_slices = None
+        self._segment.close()
+
+
+class SharedResultPlane:
+    """Fixed-layout float64 result slots, one row per worker.
+
+    The row is sized for the largest fused reply the optimizers emit
+    (a prepare+deriv program needs ``2 * n_partitions`` floats) with
+    generous headroom; a reply that would not fit simply travels over
+    the pipe instead — both sides size-check against the same capacity.
+    """
+
+    def __init__(self, n_workers: int, n_partitions: int, capacity: int | None = None):
+        if capacity is None:
+            capacity = max(32, 6 * max(n_partitions, 1))
+        self.n_workers = n_workers
+        self.n_partitions = n_partitions
+        self.capacity = int(capacity)
+        self._segment = _Segment(n_workers * self.capacity * 8)
+        self.slots: np.ndarray | None = np.ndarray(
+            (n_workers, self.capacity), dtype=np.float64, buffer=self._segment.buf
+        )
+        self.slots.fill(0.0)
+        self.nbytes = n_workers * self.capacity * 8
+
+    def row(self, rank: int) -> np.ndarray:
+        """Worker ``rank``'s result slots (a live view, both sides)."""
+        return self.slots[rank]
+
+    @property
+    def name(self) -> str:
+        return self._segment.name
+
+    def close(self) -> None:
+        self.slots = None
+        self._segment.close()

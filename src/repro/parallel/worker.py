@@ -17,6 +17,7 @@ the idle threads the paper describes.
 from __future__ import annotations
 
 import time
+import weakref
 from dataclasses import dataclass
 
 import numpy as np
@@ -29,6 +30,26 @@ from .balance import DistributionPlan, PartitionLayout, build_plan
 __all__ = ["slice_partition_data", "WorkerState"]
 
 
+# One DistributionPlan per (alignment, team size, policy), so slicing a
+# team worker-by-worker with a policy *name* builds the plan once, not
+# once per worker.  Keyed by object identity (PartitionedAlignment holds
+# ndarrays and is unhashable); a weakref finalizer evicts the entry when
+# the alignment is collected, so a recycled id() can never alias.
+_PLAN_CACHE: dict[tuple[int, int, str], DistributionPlan] = {}
+
+
+def _team_plan(
+    data: PartitionedAlignment, n_workers: int, policy: str
+) -> DistributionPlan:
+    key = (id(data), n_workers, policy)
+    plan = _PLAN_CACHE.get(key)
+    if plan is None:
+        plan = build_plan(PartitionLayout.from_alignment(data), n_workers, policy)
+        _PLAN_CACHE[key] = plan
+        weakref.finalize(data, _PLAN_CACHE.pop, key, None)
+    return plan
+
+
 def slice_partition_data(
     data: PartitionedAlignment,
     n_workers: int,
@@ -37,11 +58,18 @@ def slice_partition_data(
 ) -> list[PartitionData]:
     """The pattern slices worker ``worker`` owns, one per partition.
 
-    ``distribution`` is a policy name (a fresh
+    ``distribution`` is a policy name (a
     :class:`~repro.parallel.balance.DistributionPlan` is built with the
-    analytic cost model) or a prebuilt plan — the latter is what
-    :class:`~repro.parallel.engine.ParallelPLK` passes so the plan is
-    computed once per team, not once per worker.
+    analytic cost model and cached per (alignment, team size, policy))
+    or a prebuilt plan (what
+    :class:`~repro.parallel.engine.ParallelPLK` passes).
+
+    Invariant: all workers of one team MUST be sliced from the same
+    plan — pattern ownership is a partition of the alignment, so mixing
+    plans would drop or double-count patterns.  Policy-name calls uphold
+    this via the cache (repeated calls for the same alignment/team size
+    reuse one plan object); callers juggling several plans for one
+    alignment must pass the plan explicitly.
     """
     if isinstance(distribution, DistributionPlan):
         plan = distribution
@@ -50,9 +78,7 @@ def slice_partition_data(
                 f"plan built for {plan.n_threads} threads, team has {n_workers}"
             )
     else:
-        plan = build_plan(
-            PartitionLayout.from_alignment(data), n_workers, distribution
-        )
+        plan = _team_plan(data, n_workers, distribution)
     slices: list[PartitionData] = []
     for p, block in enumerate(data.data):
         idx = plan.thread_indices(p, worker)
@@ -97,6 +123,11 @@ class WorkerState:
             for part in self.parts:
                 part.set_branch_lengths(initial_lengths)
         self._handles: dict[int, _Handle] = {}
+        # Zero-width fast path: a worker owning zero patterns of a short
+        # partition (the paper's m'_p < T case) contributes the additive
+        # identity to every reduction, so its commands short-circuit here
+        # instead of dispatching zero-width kernels.
+        self._empty = tuple(sl.n_patterns == 0 for sl in slices)
 
     # Command dispatch ---------------------------------------------------
 
@@ -120,19 +151,31 @@ class WorkerState:
 
     def _cmd_lnl(self, root_edge: int) -> float:
         """Partial total log-likelihood over all partitions."""
-        return float(sum(p.loglikelihood(root_edge) for p in self.parts))
+        return float(
+            sum(
+                p.loglikelihood(root_edge)
+                for p, empty in zip(self.parts, self._empty)
+                if not empty
+            )
+        )
 
     def _cmd_lnl_parts(self, root_edge: int, active: list[int]) -> np.ndarray:
         """Partial per-partition log-likelihoods for the active set."""
         out = np.zeros(len(self.parts))
         for p in active:
+            if self._empty[p]:
+                continue
             out[p] = self.parts[p].loglikelihood(root_edge)
         return out
 
     # -- branch-length machinery ------------------------------------------
 
     def _cmd_prepare(self, edge: int, token: int, partitions: list[int]) -> None:
-        ws = {p: self.parts[p].prepare_branch(edge) for p in partitions}
+        ws = {
+            p: self.parts[p].prepare_branch(edge)
+            for p in partitions
+            if not self._empty[p]
+        }
         self._handles[token] = _Handle(token=token, workspaces=ws)
 
     def _cmd_deriv(
@@ -143,6 +186,8 @@ class WorkerState:
         d1 = np.zeros(len(self.parts))
         d2 = np.zeros(len(self.parts))
         for p in active:
+            if self._empty[p]:
+                continue
             d1[p], d2[p] = self.parts[p].branch_derivatives(
                 handle.workspaces[p], float(z[p])
             )
@@ -156,6 +201,8 @@ class WorkerState:
         handle = self._handles[token]
         out = np.zeros(len(self.parts))
         for p in active:
+            if self._empty[p]:
+                continue
             out[p] = self.parts[p].branch_loglikelihood(
                 handle.workspaces[p], float(z[p])
             )
@@ -179,6 +226,17 @@ class WorkerState:
     def _cmd_set_model(self, partition: int, model) -> None:
         self.parts[partition].model = model
 
+    def _cmd_set_bl_vec(self, edge: int, values: np.ndarray) -> None:
+        """Per-partition branch lengths for one edge in ONE command (the
+        fused replacement for P separate ``set_bl`` broadcasts)."""
+        for p, part in enumerate(self.parts):
+            part.set_branch_length(edge, float(values[p]))
+
+    def _cmd_set_alpha_vec(self, x: np.ndarray, active: list[int]) -> None:
+        """Per-partition alphas in ONE command (fused ``set_alpha``)."""
+        for p in active:
+            self.parts[p].alpha = float(x[p])
+
     def _cmd_eval_alpha(
         self, x: np.ndarray, active: list[int], root_edge: int
     ) -> np.ndarray:
@@ -186,6 +244,15 @@ class WorkerState:
         (one fused command per Brent round — the newPAR schedule)."""
         out = np.zeros(len(self.parts))
         for p in active:
+            if self._empty[p]:
+                continue
             self.parts[p].alpha = float(x[p])
             out[p] = -self.parts[p].loglikelihood(root_edge)
         return out
+
+    # -- fused programs ----------------------------------------------------
+
+    def _cmd_prog(self, steps: tuple) -> list:
+        """Execute an ordered fused program (one broadcast/barrier on the
+        master side); returns one partial result per step."""
+        return [self.execute(tuple(step)) for step in steps]

@@ -51,12 +51,17 @@ class CommandRecord:
         Master-observed wall seconds, dispatch to reduction.
     busy:
         Per-worker ``execute()`` seconds, length ``n_workers``.
+    n_commands:
+        Worker commands this broadcast executed — 1 for a plain command,
+        ``len(steps)`` for a fused :class:`~repro.parallel.program.Program`
+        (one region/barrier amortized over several commands).
     """
 
     op: str
     kind: str
     wall: float
     busy: tuple[float, ...]
+    n_commands: int = 1
 
     @property
     def span(self) -> float:
@@ -80,6 +85,7 @@ class CommandRecord:
             "kind": self.kind,
             "wall": self.wall,
             "busy": list(self.busy),
+            "n_commands": self.n_commands,
         }
 
     @classmethod
@@ -87,6 +93,7 @@ class CommandRecord:
         return cls(
             op=d["op"], kind=d["kind"], wall=float(d["wall"]),
             busy=tuple(float(b) for b in d["busy"]),
+            n_commands=int(d.get("n_commands", 1)),
         )
 
 
@@ -111,6 +118,17 @@ class RunProfile:
     @property
     def n_regions(self) -> int:
         return len(self.records)
+
+    @property
+    def n_commands(self) -> int:
+        """Worker commands executed (>= ``n_regions``: fused programs pack
+        several commands into one region/barrier)."""
+        return sum(r.n_commands for r in self.records)
+
+    @property
+    def commands_per_barrier(self) -> float:
+        """Mean worker commands amortized per broadcast barrier."""
+        return self.n_commands / self.n_regions if self.records else 0.0
 
     @property
     def total_seconds(self) -> float:
@@ -194,6 +212,8 @@ class RunProfile:
             f"sync {self.sync_seconds*1e3:.1f} ms, "
             f"efficiency {self.efficiency:.1%}, "
             f"load balance {self.load_balance:.1%}",
+            f"  barriers: {self.n_regions}  commands: {self.n_commands}  "
+            f"({self.commands_per_barrier:.2f} commands/barrier)",
         ]
         for w in range(self.n_workers):
             lines.append(

@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import time
 
-from ..core.trace import command_kind
+from ..core.trace import describe_command
 from .profile import CommandRecord, RunProfile
 
 __all__ = ["Profiler", "NullProfiler"]
@@ -63,21 +63,28 @@ class Profiler:
         self.backend = ""
         self.n_workers = 0
         self.distribution = "cyclic"
+        self.comms = "pipe"
         self.meta = dict(meta or {})
 
-    def bind(self, *, backend: str, n_workers: int, distribution: str) -> None:
+    def bind(self, *, backend: str, n_workers: int, distribution: str,
+             comms: str = "pipe") -> None:
         """Called by :class:`~repro.parallel.ParallelPLK` at team startup."""
         self.backend = backend
         self.n_workers = n_workers
         self.distribution = distribution
+        self.comms = comms
 
     def broadcast(self, team, cmd: tuple) -> list:
-        op = cmd[0]
+        # A fused program records as ONE region (one barrier) labelled
+        # "prog(op1+op2+...)" carrying its worker-command count, exactly
+        # mirroring the simulator's one-sync-per-region accounting.
+        op, kind, n_cmds = describe_command(cmd)
         t0 = time.perf_counter()
         results, busy = team.broadcast_timed(cmd)
         wall = time.perf_counter() - t0
         self.records.append(
-            CommandRecord(op=op, kind=command_kind(op), wall=wall, busy=tuple(busy))
+            CommandRecord(op=op, kind=kind, wall=wall, busy=tuple(busy),
+                          n_commands=n_cmds)
         )
         return results
 
@@ -87,10 +94,12 @@ class Profiler:
 
     def profile(self) -> RunProfile:
         """The accumulated measurements as a :class:`RunProfile`."""
+        meta = dict(self.meta)
+        meta.setdefault("comms", self.comms)
         return RunProfile(
             backend=self.backend,
             n_workers=self.n_workers,
             distribution=self.distribution,
             records=list(self.records),
-            meta=dict(self.meta),
+            meta=meta,
         )

@@ -67,6 +67,30 @@ class TestFailingWorker:
         team.close()  # must return promptly, not hang on a barrier
 
 
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestFailingWorkerMidProgram:
+    @pytest.mark.timeout(30)
+    def test_exception_mid_fused_program_surfaces(self, setup, backend):
+        """A failing step inside a fused program must surface exactly like
+        a failing plain broadcast: one WorkerError, no barrier deadlock."""
+        with make_team(setup, backend) as team:
+            with pytest.raises(WorkerError) as exc_info:
+                team.run_program((
+                    ("lnl", 0),
+                    ("deriv", 99999, np.zeros(2), [0]),  # bad token
+                ))
+            assert exc_info.value.rank == 0
+            # the team protocol completed, so it stays usable
+            team.loglikelihood(0)
+
+    @pytest.mark.timeout(30)
+    def test_close_after_mid_program_exception(self, setup, backend):
+        team = make_team(setup, backend)
+        with pytest.raises(WorkerError):
+            team.run_program((("lnl", 0), ("explode",)))
+        team.close()
+
+
 class TestDeadProcessWorker:
     @pytest.mark.timeout(30)
     def test_dead_worker_raises_and_terminates_team(self, setup):
@@ -82,6 +106,37 @@ class TestDeadProcessWorker:
                 assert not proc.is_alive()
             with pytest.raises(RuntimeError, match="closed"):
                 team.loglikelihood(0)
+
+    @pytest.mark.timeout(60)
+    def test_dead_worker_mid_program_cleans_up_shm(self, setup):
+        """A worker dying inside a fused program on the shm plane must
+        surface as WorkerError AND leave no stale /dev/shm segment — the
+        teardown path unlinks the arena and result plane."""
+        from repro.parallel import live_segments
+
+        before = live_segments()
+        with make_team(setup, "processes", comms="shm") as team:
+            assert len(live_segments()) == len(before) + 2
+            victim = team._team.procs[1]
+            victim.terminate()
+            victim.join(timeout=10)
+            with pytest.raises(WorkerError, match="worker"):
+                team.run_program((("lnl", 0), ("lnl", 0)))
+            for proc in team._team.procs:
+                proc.join(timeout=10)
+                assert not proc.is_alive()
+        assert live_segments() == before
+
+    @pytest.mark.timeout(60)
+    def test_worker_exception_on_shm_plane_keeps_team_usable(self, setup):
+        """A worker-side exception under comms=shm still travels over the
+        pipe (the error path never touches the result plane) and the team
+        remains usable afterwards."""
+        with make_team(setup, "processes", comms="shm") as team:
+            before = team.loglikelihood(0)
+            with pytest.raises(WorkerError):
+                team.run_program((("lnl", 0), ("deriv", 4242, np.zeros(2), [0])))
+            assert team.loglikelihood(0) == pytest.approx(before, abs=1e-10)
 
 
 @pytest.mark.parametrize("backend", BACKENDS)

@@ -1,0 +1,339 @@
+"""Fused command programs: the result layout, worker-side execution
+order, solver first-evaluation hand-off, and — the point of the whole
+exercise — engine-level equivalence with a measured drop in barriers.
+"""
+import numpy as np
+import pytest
+
+from repro.core import PartitionedEngine, TraceRecorder
+from repro.core.strategies import optimize_branch_lengths
+from repro.core.trace import COMMAND_KINDS, describe_command
+from repro.obs import MetricsRegistry
+from repro.optimize import BatchedBrent, BatchedNewton
+from repro.parallel import ParallelPLK, Program, slice_partition_data
+from repro.parallel.program import (
+    RESULT_SHAPES,
+    decode_results,
+    encode_results,
+    program_steps,
+    result_shapes,
+    result_width,
+)
+from repro.parallel.worker import WorkerState
+from repro.plk import PartitionedAlignment, SubstitutionModel, uniform_scheme
+from repro.seqgen import random_topology_with_lengths, simulate_alignment
+
+
+@pytest.fixture(scope="module")
+def setup():
+    rng = np.random.default_rng(7)
+    tree, lengths = random_topology_with_lengths(6, rng)
+    aln = simulate_alignment(
+        tree, lengths, SubstitutionModel.random_gtr(1), 1.0, 300, rng
+    )
+    data = PartitionedAlignment(aln, uniform_scheme(300, 100))
+    models = [SubstitutionModel.random_gtr(p) for p in range(3)]
+    alphas = [0.7, 1.0, 1.4]
+    return data, tree, lengths, models, alphas
+
+
+def make_team(setup, **kw):
+    data, tree, lengths, models, alphas = setup
+    kw.setdefault("backend", "threads")
+    return ParallelPLK(
+        data, tree, models, alphas, 2, initial_lengths=lengths, **kw
+    )
+
+
+class TestDescribeCommand:
+    def test_plain_command(self):
+        assert describe_command(("deriv", 0, None, [0])) == (
+            "deriv", "derivative", 1,
+        )
+
+    def test_program_classified_by_first_noncontrol_step(self):
+        cmd = ("prog", (("prepare", 0, 1, [0]), ("deriv", 1, None, [0])))
+        label, kind, n = describe_command(cmd)
+        assert label == "prog(prepare+deriv)"
+        assert kind == "sumtable"
+        assert n == 2
+
+    def test_all_control_program(self):
+        cmd = ("prog", (("release", 1), ("set_bl", 0, 0.1, None)))
+        assert describe_command(cmd)[1] == "control"
+
+    def test_layout_vocabulary_is_classified(self):
+        # Every op the shm layout knows must also have a region kind.
+        assert set(RESULT_SHAPES) <= set(COMMAND_KINDS)
+
+
+class TestProgramDataclass:
+    def test_wire_format_and_label(self):
+        prog = Program(steps=(("lnl", 0), ("release", 3)))
+        assert prog.command == ("prog", prog.steps)
+        assert prog.label == "prog(lnl+release)"
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            Program(steps=())
+
+    def test_rejects_nesting_and_stop(self):
+        with pytest.raises(ValueError):
+            Program(steps=(("prog", (("lnl", 0),)),))
+        with pytest.raises(ValueError):
+            Program(steps=(("stop",),))
+
+
+class TestResultLayout:
+    def test_program_steps(self):
+        assert program_steps(("lnl", 0)) == (("lnl", 0),)
+        steps = (("lnl", 0), ("release", 1))
+        assert program_steps(("prog", steps)) == steps
+
+    def test_shapes_and_width(self):
+        cmd = ("prog", (("prepare", 0, 1, [0]), ("deriv", 1, None, [0]),
+                        ("branch_lnl", 1, None, [0]), ("lnl", 0)))
+        shapes = result_shapes(cmd)
+        assert shapes == ["none", "pair", "vec", "scalar"]
+        assert result_width(shapes, 3) == 0 + 6 + 3 + 1
+
+    def test_unknown_op_falls_back_to_pipe(self):
+        assert result_shapes(("mystery", 1)) is None
+        assert result_shapes(("prog", (("lnl", 0), ("mystery", 1)))) is None
+
+    def test_encode_decode_round_trip_program(self):
+        n = 3
+        cmd = ("prog", (("prepare", 0, 1, [0]), ("deriv", 1, None, [0]),
+                        ("branch_lnl", 1, None, [0]), ("lnl", 0)))
+        shapes = result_shapes(cmd)
+        value = [
+            None,
+            (np.array([1.0, 2.0, 3.0]), np.array([4.0, 5.0, 6.0])),
+            np.array([-7.0, -8.0, -9.0]),
+            -42.5,
+        ]
+        row = np.zeros(result_width(shapes, n))
+        encode_results(row, cmd, value, shapes, n)
+        out = decode_results(row, cmd, shapes, n)
+        assert out[0] is None
+        np.testing.assert_array_equal(out[1][0], value[1][0])
+        np.testing.assert_array_equal(out[1][1], value[1][1])
+        np.testing.assert_array_equal(out[2], value[2])
+        assert out[3] == -42.5
+
+    def test_encode_decode_plain_command(self):
+        cmd = ("lnl", 0)
+        shapes = result_shapes(cmd)
+        row = np.zeros(result_width(shapes, 3))
+        encode_results(row, cmd, -3.25, shapes, 3)
+        assert decode_results(row, cmd, shapes, 3) == -3.25
+
+
+class TestWorkerProgram:
+    def test_steps_run_in_order_and_match_separate_execution(self, setup):
+        data, tree, lengths, models, alphas = setup
+        mk = lambda: WorkerState(  # noqa: E731
+            slice_partition_data(data, 1, 0), tree.copy(), models, alphas,
+            lengths,
+        )
+        fused, plain = mk(), mk()
+        steps = (
+            ("prepare", 0, 9, [0, 1, 2]),
+            ("deriv", 9, np.full(3, 0.05), [0, 1, 2]),
+            ("set_bl_vec", 0, np.full(3, 0.2)),
+            ("lnl", 0),
+            ("release", 9),
+        )
+        out = fused.execute(("prog", steps))
+        ref = [plain.execute(s) for s in steps]
+        assert len(out) == len(steps)
+        np.testing.assert_allclose(out[1][0], ref[1][0])
+        np.testing.assert_allclose(out[1][1], ref[1][1])
+        # the lnl step sees the set_bl_vec that preceded it in the program
+        assert out[3] == pytest.approx(ref[3], abs=1e-10)
+        before = plain.execute(("lnl", 0))
+        assert out[3] == pytest.approx(before, abs=1e-10)
+
+
+class TestEngineRunProgram:
+    def test_fused_exchange_equals_separate_broadcasts(self, setup):
+        with make_team(setup) as team:
+            handle = team.prepare_branch(0, [0, 1, 2])
+            z = np.full(3, 0.1)
+            d1_ref, d2_ref = team.branch_derivatives(handle, z, [0, 1, 2])
+            team.release(handle)
+
+            token = 7_000
+            prog = Program(steps=(
+                ("prepare", 0, token, [0, 1, 2]),
+                ("deriv", token, z, [0, 1, 2]),
+                ("release", token),
+            ))
+            _, deriv_parts, _ = team.run_program(prog)
+            d1 = np.sum([p[0] for p in deriv_parts], axis=0)
+            d2 = np.sum([p[1] for p in deriv_parts], axis=0)
+        np.testing.assert_allclose(d1, d1_ref, atol=1e-12)
+        np.testing.assert_allclose(d2, d2_ref, atol=1e-12)
+
+    def test_one_barrier_per_program(self, setup):
+        metrics = MetricsRegistry()
+        with make_team(setup, metrics=metrics) as team:
+            team.run_program((("lnl", 0), ("lnl", 0), ("lnl", 0)))
+        snap = metrics.snapshot()
+        assert snap["broadcasts.total"]["value"] == 1
+        assert snap["commands.total"]["value"] == 3
+
+
+class TestSolverFirstEval:
+    def test_newton_initial_point_clips(self):
+        solver = BatchedNewton(1e-3, 10.0, 1e-6)
+        z = solver.initial_point(np.array([0.0, 0.5, 99.0]))
+        np.testing.assert_allclose(z, [1e-3, 0.5, 10.0])
+
+    def test_newton_first_eval_skips_one_call_same_result(self):
+        def make_fn(calls):
+            def fn(z, active):
+                calls.append(z.copy())
+                return -2.0 * (z - 1.5), np.full_like(z, -2.0)
+            return fn
+
+        solver = BatchedNewton(1e-3, 10.0, 1e-8)
+        z0 = np.array([0.1, 3.0])
+        plain_calls, fused_calls = [], []
+        ref = solver.run(make_fn(plain_calls), z0)
+        z_first = solver.initial_point(z0)
+        first = make_fn([])(z_first, None)
+        res = solver.run(make_fn(fused_calls), z0, first_eval=first)
+        np.testing.assert_allclose(res.z, ref.z)
+        np.testing.assert_array_equal(res.iterations, ref.iterations)
+        assert len(fused_calls) == len(plain_calls) - 1
+        np.testing.assert_allclose(plain_calls[0], z_first)
+
+    def test_brent_first_fx_skips_one_call_same_result(self):
+        def make_fn(calls):
+            def fn(x, active):
+                calls.append(x.copy())
+                return (x - 0.8) ** 2
+            return fn
+
+        solver = BatchedBrent(np.full(2, 0.02), np.full(2, 5.0), 1e-5)
+        guess = np.array([1.0, 0.3])
+        plain_calls, fused_calls = [], []
+        ref = solver.run(make_fn(plain_calls), guess=guess)
+        x_first = solver.initial_point(guess)
+        first = make_fn([])(x_first, None)
+        res = solver.run(make_fn(fused_calls), guess=guess, first_fx=first)
+        np.testing.assert_allclose(res.x, ref.x)
+        assert len(fused_calls) == len(plain_calls) - 1
+        np.testing.assert_allclose(plain_calls[0], x_first)
+
+
+class TestFusedOptimizerEquivalence:
+    @pytest.mark.timeout(60)
+    def test_optimize_branch_fused_matches_unfused(self, setup):
+        out, lnl, metrics = {}, {}, {}
+        for fuse in (True, False):
+            m = MetricsRegistry()
+            with make_team(setup, fuse_programs=fuse, metrics=m) as team:
+                out[fuse] = team.optimize_branch(0, "new", z0=np.full(3, 0.1))
+                lnl[fuse] = team.loglikelihood(0)
+            metrics[fuse] = m.snapshot()
+        np.testing.assert_allclose(out[True], out[False], atol=1e-9)
+        assert lnl[True] == pytest.approx(lnl[False], abs=1e-9)
+        fused_b = metrics[True]["broadcasts.total"]["value"]
+        plain_b = metrics[False]["broadcasts.total"]["value"]
+        # R solver rounds + 2 barriers fused vs R + 4 + P unfused: the
+        # acceptance criterion's measurable barrier reduction.
+        assert fused_b <= plain_b - 4
+        cpb = metrics[True]["commands_per_barrier"]
+        assert cpb["mean"] > 1.0
+
+    @pytest.mark.timeout(60)
+    def test_optimize_alpha_fused_matches_unfused(self, setup):
+        out, metrics = {}, {}
+        for fuse in (True, False):
+            m = MetricsRegistry()
+            with make_team(setup, fuse_programs=fuse, metrics=m) as team:
+                out[fuse] = team.optimize_alpha("new")
+            metrics[fuse] = m.snapshot()
+        np.testing.assert_allclose(out[True], out[False], atol=1e-9)
+        # P set_alpha broadcasts collapse into one set_alpha_vec.
+        assert (metrics[True]["broadcasts.total"]["value"]
+                == metrics[False]["broadcasts.total"]["value"] - 2)
+
+    @pytest.mark.timeout(60)
+    def test_fused_matches_sequential_engine(self, setup):
+        data, tree, lengths, models, alphas = setup
+        seq = PartitionedEngine(
+            data, tree.copy(), models=list(models), alphas=list(alphas),
+            initial_lengths=lengths,
+        )
+        with make_team(setup) as team:
+            assert team.loglikelihood(0) == pytest.approx(
+                seq.loglikelihood(0), abs=1e-8
+            )
+
+
+class TestSequentialStrategyFusion:
+    def test_new_strategy_fuses_prepare_with_first_derivative(self, setup):
+        """The sequential newPAR driver now opens ONE region holding the
+        sumtable setup and the first derivative pass — the region the
+        simulator charges a single sync for, mirroring the parallel
+        backends' fused prepare+deriv program."""
+        data, tree, lengths, models, alphas = setup
+        recorder = TraceRecorder()
+        engine = PartitionedEngine(
+            data, tree.copy(), models=list(models), alphas=list(alphas),
+            initial_lengths=lengths, recorder=recorder,
+        )
+        optimize_branch_lengths(engine, "new", passes=1, edges=[0])
+        trace = recorder.finalize(engine.pattern_counts(), engine.states())
+        fused = [
+            r for r in trace.regions
+            if {"sumtable", "derivative"} <= {it.op for it in r.items}
+        ]
+        assert fused, "no region fuses sumtable setup with a derivative pass"
+
+
+class TestZeroWidthFastPath:
+    def test_empty_slices_short_circuit(self, setup):
+        _, tree, lengths, models, alphas = setup
+        rng = np.random.default_rng(11)
+        tiny_aln = simulate_alignment(tree, lengths, models[0], 1.0, 6, rng)
+        tiny = PartitionedAlignment(tiny_aln, uniform_scheme(6, 3))
+        # With far more workers than patterns, the last worker owns zero
+        # patterns of every partition.
+        state = WorkerState(
+            slice_partition_data(tiny, 6, 5), tree.copy(), models[:2],
+            alphas[:2], lengths,
+        )
+        assert all(state._empty)
+        assert state.execute(("lnl", 0)) == 0.0
+        np.testing.assert_array_equal(
+            state.execute(("lnl_parts", 0, [0, 1])), np.zeros(2)
+        )
+        out = state.execute(("prog", (("prepare", 0, 1, [0, 1]),
+                                      ("deriv", 1, np.full(2, 0.1), [0, 1]),
+                                      ("release", 1))))
+        np.testing.assert_array_equal(out[1][0], np.zeros(2))
+
+
+class TestTeamPlanCache:
+    def test_policy_name_builds_one_plan_per_team(self, setup, monkeypatch):
+        import repro.parallel.worker as worker_mod
+
+        data, *_ = setup
+        calls = []
+        real = worker_mod.build_plan
+
+        def counting(layout, n_workers, policy):
+            calls.append(policy)
+            return real(layout, n_workers, policy)
+
+        monkeypatch.setattr(worker_mod, "build_plan", counting)
+        slices = [slice_partition_data(data, 3, w, "block") for w in range(3)]
+        assert len(calls) == 1
+        # and every worker was sliced from that same plan: the slices tile
+        # each partition exactly.
+        for p, n_pat in enumerate(data.pattern_counts()):
+            assert sum(sl[p].n_patterns for sl in slices) == n_pat
