@@ -66,6 +66,7 @@ __all__ = ["main", "build_parser"]
 
 def build_parser() -> argparse.ArgumentParser:
     from .parallel.distribution import DISTRIBUTIONS
+    from .plk.kernels import KERNELS
 
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -91,6 +92,8 @@ def build_parser() -> argparse.ArgumentParser:
     ana.add_argument("--tree", help="starting tree (Newick; default: "
                      "randomized stepwise-addition parsimony)")
     ana.add_argument("--strategy", choices=("old", "new"), default="new")
+    ana.add_argument("--kernel", choices=KERNELS, default="numpy",
+                     help="PLK inner-loop backend (default: %(default)s)")
     ana.add_argument("--branch-mode", choices=("joint", "per_partition"),
                      default="per_partition")
     ana.add_argument("--search", action="store_true",
@@ -129,6 +132,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="result transport for the processes backend: "
                        "pickled pipe replies or the zero-copy shared-memory "
                        "result plane (default: %(default)s)")
+        p.add_argument("--kernel", choices=KERNELS, default="numpy",
+                       help="PLK inner-loop backend: the numpy reference, "
+                       "the cache-blocked BLAS kernel, or the numba JIT "
+                       "(falls back to numpy when numba is missing; "
+                       "default: %(default)s)")
         p.add_argument("--distribution", choices=DISTRIBUTIONS,
                        default="cyclic")
         p.add_argument("--edges", type=int, default=6,
@@ -307,7 +315,7 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
                 ckpt_taxa, alignment.matrix[order], alignment.datatype
             )
         data = build_data(alignment)
-        engine = engine_from_checkpoint(data, state)
+        engine = engine_from_checkpoint(data, state, kernel=args.kernel)
         engine.recorder = recorder
         for part in engine.parts:
             part.recorder = recorder
@@ -340,6 +348,7 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
             branch_mode=args.branch_mode,
             initial_lengths=lengths,
             recorder=recorder,
+            kernel=args.kernel,
         )
     t0 = time.perf_counter()
     if args.search:
@@ -416,6 +425,7 @@ def _run_profiled_strategies(
 
     data, tree, lengths, models, alphas, edges = _build_workload(args)
     comms = getattr(args, "comms", "pipe")
+    kernel = getattr(args, "kernel", None)
     profiles = {}
     for strategy in ("old", "new"):
         profiler = Profiler(meta={
@@ -426,7 +436,8 @@ def _run_profiled_strategies(
         with ParallelPLK(
             data, tree, models, alphas, args.workers,
             backend=args.backend, distribution=args.distribution,
-            comms=comms, initial_lengths=lengths, profiler=profiler,
+            comms=comms, kernel=kernel, initial_lengths=lengths,
+            profiler=profiler,
         ) as team:
             if warmup:
                 # Untimed pass absorbs worker start-up / allocator / cache
@@ -537,6 +548,7 @@ def _cmd_timeline(args: argparse.Namespace) -> int:
             data, tree, models, alphas, args.workers,
             backend=args.backend, distribution=args.distribution,
             comms=getattr(args, "comms", "pipe"),
+            kernel=getattr(args, "kernel", None),
             initial_lengths=lengths, profiler=profiler,
             tracer=tracer, metrics=metrics, telemetry=telemetry,
         ) as team:
@@ -611,6 +623,7 @@ def _cmd_balance(args: argparse.Namespace) -> int:
     engine = PartitionedEngine(
         data, tree.copy(), models=list(models), alphas=list(alphas),
         initial_lengths=lengths, recorder=recorder,
+        kernel=getattr(args, "kernel", None),
     )
     optimize_branch_lengths(engine, args.strategy, passes=1, edges=edges)
     if args.alpha:
@@ -625,6 +638,7 @@ def _cmd_balance(args: argparse.Namespace) -> int:
             data, tree, models, alphas, args.workers,
             backend=args.backend, distribution=policy,
             comms=getattr(args, "comms", "pipe"),
+            kernel=getattr(args, "kernel", None),
             initial_lengths=lengths, profiler=profiler,
         ) as team:
             team.optimize_branches(edges, args.strategy)
@@ -704,7 +718,8 @@ def _cmd_perfcheck(args: argparse.Namespace) -> int:
         workload = {
             key: getattr(args, key)
             for key in ("taxa", "sites", "partitions", "workers", "backend",
-                        "comms", "distribution", "edges", "alpha", "seed")
+                        "comms", "distribution", "kernel", "edges", "alpha",
+                        "seed")
         }
         write_baseline(baseline_path, profiles, workload)
         print(f"froze baseline {baseline_path}")

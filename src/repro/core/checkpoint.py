@@ -52,7 +52,8 @@ def engine_to_checkpoint(engine: PartitionedEngine) -> dict[str, Any]:
 
 
 def engine_from_checkpoint(
-    data: PartitionedAlignment, state: dict[str, Any]
+    data: PartitionedAlignment, state: dict[str, Any],
+    kernel: str | None = None,
 ) -> PartitionedEngine:
     """Rebuild an engine from a checkpoint against the same alignment.
 
@@ -102,6 +103,7 @@ def engine_from_checkpoint(
         models=models,
         alphas=alphas,
         branch_mode=state["branch_mode"],
+        kernel=kernel,
     )
     engine._global_lengths[:] = np.asarray(state["global_lengths"])
     if state["branch_mode"] == "proportional":
@@ -125,7 +127,8 @@ def save_checkpoint(engine: PartitionedEngine, path) -> None:
         json.dump(engine_to_checkpoint(engine), fh, indent=1)
 
 
-def load_checkpoint(data: PartitionedAlignment, path) -> PartitionedEngine:
+def load_checkpoint(data: PartitionedAlignment, path,
+                    kernel: str | None = None) -> PartitionedEngine:
     """Rebuild an engine from a checkpoint file."""
     with open(path) as fh:
-        return engine_from_checkpoint(data, json.load(fh))
+        return engine_from_checkpoint(data, json.load(fh), kernel=kernel)

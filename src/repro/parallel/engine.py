@@ -22,6 +22,7 @@ Backend notes
 from __future__ import annotations
 
 import itertools
+import os
 import pickle
 import threading
 import traceback
@@ -37,6 +38,7 @@ from ..obs.metrics import NullMetrics
 from ..obs.tracer import NullTracer
 from ..optimize.newton import BatchedNewton, newton_optimize
 from ..optimize.brent import BatchedBrent
+from ..plk.kernels import KERNEL_ENV, KERNELS
 from ..plk.partition import PartitionedAlignment
 from ..plk.tree import Tree
 from .balance import DistributionPlan, PartitionLayout, build_plan, imbalance_ratio
@@ -182,9 +184,10 @@ class _ThreadTeam:
 
 
 def _process_worker_main(
-    conn, slices, tree, models, alphas, lengths, categories, result_row=None
+    conn, slices, tree, models, alphas, lengths, categories, kernel=None,
+    result_row=None,
 ):
-    state = WorkerState(slices, tree, models, alphas, lengths, categories)
+    state = WorkerState(slices, tree, models, alphas, lengths, categories, kernel)
     n_parts = len(state.parts)
     while True:
         try:
@@ -391,6 +394,14 @@ class ParallelPLK:
         (pickled replies, the default) or ``"shm"`` (the zero-copy
         shared-memory plane of :mod:`repro.parallel.shm`).  The threads
         backend shares one address space and reports ``"local"``.
+    kernel:
+        Inner-loop implementation for every worker, by name from
+        :data:`repro.plk.kernels.KERNELS` — ``"numpy"`` (the reference),
+        ``"blocked"`` (cache-blocked BLAS) or ``"numba"`` (JIT, degrades
+        to numpy when unavailable).  ``None`` reads ``REPRO_KERNEL``
+        from the environment, defaulting to ``"numpy"``.  The resolved
+        name is exposed as ``self.kernel`` and stamped into profiles,
+        traces and metrics.
     fuse_programs:
         When True (default), the batched optimizers issue fused
         :class:`~repro.parallel.program.Program` broadcasts — e.g.
@@ -432,6 +443,7 @@ class ParallelPLK:
         initial_lengths: np.ndarray | None = None,
         categories: int = 4,
         comms: str = "pipe",
+        kernel: str | None = None,
         fuse_programs: bool = True,
         profiler=None,
         tracer=None,
@@ -446,6 +458,12 @@ class ParallelPLK:
             raise ValueError("comms must be 'pipe' or 'shm'")
         if comms == "shm" and backend != "processes":
             raise ValueError("comms='shm' requires the processes backend")
+        if kernel is None:
+            kernel = os.environ.get(KERNEL_ENV, "").strip() or "numpy"
+        if kernel not in KERNELS:
+            raise ValueError(
+                f"kernel must be one of {', '.join(KERNELS)} (got {kernel!r})"
+            )
         if profiler is None:
             from ..perf import NullProfiler
 
@@ -458,6 +476,7 @@ class ParallelPLK:
         self.n_workers = n_workers
         self.backend = backend
         self.comms = comms if backend == "processes" else "local"
+        self.kernel = kernel
         self.fuse_programs = bool(fuse_programs)
         self.commands_issued = 0
         self._token = itertools.count()
@@ -484,22 +503,28 @@ class ParallelPLK:
             for w in range(n_workers)
         ]
         if backend == "threads":
+            # Backend name, not instance: each WorkerState resolves its
+            # own kernel so per-instance scratch never crosses threads.
             states = [
-                WorkerState(sl, tree.copy(), models, alphas, initial_lengths, categories)
+                WorkerState(sl, tree.copy(), models, alphas, initial_lengths,
+                            categories, kernel)
                 for sl in worker_slices
             ]
             self._team: _ThreadTeam | _ProcessTeam = _ThreadTeam(states)
         else:
             self._team = _ProcessTeam(
                 [
-                    (sl, tree.copy(), models, alphas, initial_lengths, categories)
+                    (sl, tree.copy(), models, alphas, initial_lengths,
+                     categories, kernel)
                     for sl in worker_slices
                 ],
                 comms=comms,
                 n_partitions=self.n_partitions,
             )
         self.profiler.bind(backend=backend, n_workers=n_workers,
-                           distribution=self.distribution, comms=self.comms)
+                           distribution=self.distribution, comms=self.comms,
+                           kernel=self.kernel)
+        self.metrics.counter(f"kernel.{self.kernel}").inc()
 
     # ------------------------------------------------------------------
 

@@ -22,6 +22,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..plk.kernels import get_kernel
 from ..plk.likelihood import BranchWorkspace, PartitionLikelihood
 from ..plk.partition import PartitionData, PartitionedAlignment
 from ..plk.tree import Tree
@@ -111,11 +112,18 @@ class WorkerState:
         alphas: list[float],
         initial_lengths: np.ndarray | None = None,
         categories: int = 4,
+        kernel: str | None = None,
     ):
         self.tree = tree
+        # One backend instance per worker, shared by its partition engines:
+        # backends carry per-instance scratch, so instances must not cross
+        # thread boundaries, but within one worker the commands are
+        # strictly sequential.
+        self.kernel = get_kernel(kernel)
         self.parts = [
             PartitionLikelihood(
-                d, tree, model, alpha=alpha, categories=categories, index=i
+                d, tree, model, alpha=alpha, categories=categories, index=i,
+                kernel_backend=self.kernel,
             )
             for i, (d, model, alpha) in enumerate(zip(slices, models, alphas))
         ]

@@ -64,15 +64,17 @@ class Profiler:
         self.n_workers = 0
         self.distribution = "cyclic"
         self.comms = "pipe"
+        self.kernel = "numpy"
         self.meta = dict(meta or {})
 
     def bind(self, *, backend: str, n_workers: int, distribution: str,
-             comms: str = "pipe") -> None:
+             comms: str = "pipe", kernel: str = "numpy") -> None:
         """Called by :class:`~repro.parallel.ParallelPLK` at team startup."""
         self.backend = backend
         self.n_workers = n_workers
         self.distribution = distribution
         self.comms = comms
+        self.kernel = kernel
 
     def broadcast(self, team, cmd: tuple) -> list:
         # A fused program records as ONE region (one barrier) labelled
@@ -96,6 +98,7 @@ class Profiler:
         """The accumulated measurements as a :class:`RunProfile`."""
         meta = dict(self.meta)
         meta.setdefault("comms", self.comms)
+        meta.setdefault("kernel", self.kernel)
         return RunProfile(
             backend=self.backend,
             n_workers=self.n_workers,

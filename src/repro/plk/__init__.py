@@ -22,6 +22,14 @@ from .gappy import (
     taxon_coverage,
     traversal_cost_ratio,
 )
+from .kernels import (
+    KERNELS,
+    BlockedKernel,
+    KernelBackend,
+    NumbaKernel,
+    NumpyKernel,
+    get_kernel,
+)
 from .likelihood import BranchWorkspace, PartitionLikelihood
 from .models import SubstitutionModel, n_exchange_rates
 from .newick import parse_newick, write_newick
@@ -39,6 +47,7 @@ from .tree import TraversalStep, Tree
 __all__ = [
     "AA",
     "Alignment",
+    "BlockedKernel",
     "BranchWorkspace",
     "DNA",
     "DataType",
@@ -46,6 +55,10 @@ __all__ = [
     "GAMMA_CATEGORIES",
     "GappyEngine",
     "InducedSubtree",
+    "KERNELS",
+    "KernelBackend",
+    "NumbaKernel",
+    "NumpyKernel",
     "Partition",
     "PartitionData",
     "PartitionLikelihood",
@@ -59,6 +72,7 @@ __all__ = [
     "empirical_frequencies",
     "frequency_ratios",
     "get_datatype",
+    "get_kernel",
     "induced_subtree",
     "n_exchange_rates",
     "parse_fasta",

@@ -23,6 +23,16 @@ whenever a pattern's CLV max drops below 2^-256 the pattern is rescaled by
 2^+256 and a per-pattern scaling counter increments (RAxML's scheme).  The
 counters are additive along the tree and enter the final score as
 ``-count * 256 * ln 2``.
+
+Impossible patterns: a pattern whose CLV is exactly all-zero (conflicting
+hard state assignments) has likelihood exactly 0 — log-likelihood -inf.
+Such a pattern must NOT be rescaled (0 * 2^256 stays 0 while the counter
+would grow, silently turning -inf into a finite ``-count * 256 ln 2``).
+Instead :func:`rescale` marks it with the :data:`ZERO_SCALE` sentinel in
+the scaling counter and flushes its CLV entries to 1.0, so (a) every
+log-domain consumer recognizes it via :func:`zero_pattern_mask` and emits
+an explicit -inf, and (b) a single dead pattern does not permanently
+defeat the contiguous ``result.min()`` fast path at every ancestor node.
 """
 from __future__ import annotations
 
@@ -32,8 +42,14 @@ __all__ = [
     "SCALE_THRESHOLD",
     "SCALE_FACTOR",
     "LOG_SCALE_FACTOR",
+    "ZERO_SCALE",
     "propagate",
     "newview",
+    "rescale",
+    "zero_pattern_mask",
+    "combine_scales",
+    "scaled_log_likelihoods",
+    "weighted_log_sum",
     "evaluate",
     "make_sumtable",
     "branch_derivatives",
@@ -46,8 +62,31 @@ SCALE_FACTOR = np.float64(2.0) ** 256
 SCALE_THRESHOLD = np.float64(2.0) ** -256
 LOG_SCALE_FACTOR = 256.0 * np.log(2.0)
 
+#: Scaling-counter sentinel for an impossible (all-zero) pattern.  Chosen
+#: so that (a) the sum of two children's counters — sentinel plus any
+#: realistic accumulated count, or two sentinels — still exceeds
+#: ``_ZERO_CUTOFF`` without overflowing int32, and (b) a consumer that
+#: misses the explicit dead check still computes ``log(1) - 2^20 * 177.4``
+#: ≈ -1.9e8, i.e. an effectively impossible pattern rather than a silently
+#: plausible one.
+ZERO_SCALE = np.int32(1 << 20)
+_ZERO_CUTOFF = int(1 << 19)
+
 MIN_BRANCH = 1e-8
 MAX_BRANCH = 50.0
+
+
+def zero_pattern_mask(scale: np.ndarray | None) -> np.ndarray | None:
+    """Boolean mask of patterns marked impossible (likelihood exactly 0)
+    by :func:`rescale`, or ``None`` when ``scale`` is ``None``.
+
+    The sentinel survives the additive counter combination of
+    :func:`newview` (child sums stay above the detection cutoff), so the
+    mask is valid at any tree depth.
+    """
+    if scale is None:
+        return None
+    return scale >= _ZERO_CUTOFF
 
 
 def propagate(p: np.ndarray, clv: np.ndarray) -> np.ndarray:
@@ -103,21 +142,55 @@ def newview(
         scale += scale1
     if scale2 is not None:
         scale += scale2
-    # Rescale underflowing patterns (max over categories and states).
-    # Fast path: CLV entries are non-negative, so if the global minimum is
-    # above the threshold no pattern can need scaling — one contiguous
-    # reduction instead of the (slow) per-pattern axis reduction.
-    # Zero-width slices occur when a worker owns no patterns of a short
-    # partition — the exact situation behind the paper's idle threads.
-    if m and result.min() < SCALE_THRESHOLD:
-        maxima = (
-            result.transpose(1, 0, 2).reshape(m, -1).max(axis=1)
-        )
-        tiny = maxima < SCALE_THRESHOLD
-        if tiny.any():
-            result[:, tiny, :] *= SCALE_FACTOR
-            scale[tiny] += 1
+    rescale(result, scale)
     return result, scale
+
+
+def rescale(result: np.ndarray, scale: np.ndarray) -> None:
+    """Shared underflow handling for every kernel backend: rescale tiny
+    patterns in place and mark impossible ones.
+
+    * Underflowing patterns (0 < max < 2^-256) are multiplied by 2^256 and
+      their counter increments (RAxML's scheme).
+    * Patterns whose maximum is exactly 0 are IMPOSSIBLE, not tiny:
+      rescaling cannot revive them (0 * 2^256 == 0) while the growing
+      counter would silently turn their -inf log-likelihood into a finite
+      ``-count * 256 ln 2``.  They are marked with :data:`ZERO_SCALE` and
+      their entries flushed to 1.0 so the contiguous ``result.min()`` fast
+      path below stays effective at every ancestor (a single permanent
+      zero entry would otherwise force the per-pattern reduction on every
+      call for the rest of the traversal).
+    * Patterns already marked dead by a child keep the canonical sentinel
+      (the additive counter combination in :func:`newview` perturbs it).
+
+    Fast path: CLV entries are non-negative, so if the global minimum is
+    above the threshold no pattern can need scaling — one contiguous
+    reduction instead of the per-pattern axis reduction.  Zero-width
+    slices occur when a worker owns no patterns of a short partition —
+    the exact situation behind the paper's idle threads.
+    """
+    m = result.shape[1]
+    if m == 0:
+        return
+    inherited = scale >= _ZERO_CUTOFF
+    if inherited.any():
+        # Canonicalize: a dead child's sentinel arrives summed with the
+        # sibling's ordinary counter; pin it back to exactly ZERO_SCALE.
+        scale[inherited] = ZERO_SCALE
+        # The dead columns were flushed to 1.0 when first detected, so
+        # their propagated products are healthy and min() stays a valid
+        # fast-path guard.
+    if result.min() >= SCALE_THRESHOLD:
+        return
+    maxima = result.max(axis=(0, 2))
+    tiny = (maxima < SCALE_THRESHOLD) & (maxima > 0.0)
+    zero = (maxima <= 0.0) & ~inherited
+    if tiny.any():
+        result[:, tiny, :] *= SCALE_FACTOR
+        scale[tiny] += 1
+    if zero.any():
+        result[:, zero, :] = 1.0
+        scale[zero] = ZERO_SCALE
 
 
 def _root_site_likelihoods(
@@ -136,6 +209,60 @@ def _root_site_likelihoods(
     return per_cat.mean(axis=0)
 
 
+def combine_scales(
+    scale_a: np.ndarray | None, scale_b: np.ndarray | None
+) -> np.ndarray | None:
+    """Additive combination of two per-pattern scaling counters (either
+    may be ``None`` for a tip)."""
+    if scale_a is None:
+        return scale_b
+    if scale_b is None:
+        return scale_a
+    return scale_a + scale_b
+
+
+def scaled_log_likelihoods(
+    site: np.ndarray, scale: np.ndarray | None = None
+) -> np.ndarray:
+    """Per-pattern log-likelihoods from (possibly scaled) site likelihoods.
+
+    THE log-domain entry point shared by :func:`evaluate`,
+    :func:`sumtable_loglikelihood`, :func:`mix_invariant_loglikelihoods`
+    and :meth:`~repro.plk.likelihood.PartitionLikelihood.site_loglikelihoods`,
+    so zero site likelihoods behave identically everywhere:
+
+    * ``site <= 0`` (exact zeros, or tiny negatives from einsum rounding)
+      maps to -inf without emitting ``RuntimeWarning`` or NaN;
+    * patterns carrying the :data:`ZERO_SCALE` sentinel are forced to
+      -inf explicitly — their stored CLV values are the flushed dummies,
+      not likelihoods;
+    * ordinary patterns get the usual ``log(site) - count * 256 ln 2``
+      unwinding of the scaling counters.
+    """
+    with np.errstate(divide="ignore"):
+        logs = np.log(np.maximum(site, 0.0))
+    if scale is not None:
+        dead = scale >= _ZERO_CUTOFF
+        if dead.any():
+            logs = np.where(dead, -np.inf, logs - scale * LOG_SCALE_FACTOR)
+        else:
+            logs = logs - scale * LOG_SCALE_FACTOR
+    return logs
+
+
+def weighted_log_sum(weights: np.ndarray, logs: np.ndarray) -> float:
+    """``sum_i w_i * logs_i`` that treats -inf site log-likelihoods
+    exactly: any -inf pattern with positive weight makes the total -inf;
+    -inf patterns with zero weight are dropped (a plain ``dot`` would
+    poison the sum with ``0 * -inf = NaN``)."""
+    neg = np.isneginf(logs)
+    if not neg.any():
+        return float(np.dot(weights, logs))
+    if np.any(np.asarray(weights)[neg] > 0):
+        return float("-inf")
+    return float(np.dot(weights, np.where(neg, 0.0, logs)))
+
+
 def evaluate(
     p: np.ndarray,
     clv_left: np.ndarray,
@@ -150,12 +277,8 @@ def evaluate(
     branch length).  This is the reduction the paper identifies as the
     natural synchronization point."""
     site = _root_site_likelihoods(p, clv_left, clv_right, frequencies)
-    logs = np.log(site)
-    if scale_left is not None:
-        logs = logs - scale_left * LOG_SCALE_FACTOR
-    if scale_right is not None:
-        logs = logs - scale_right * LOG_SCALE_FACTOR
-    return float(np.dot(weights, logs))
+    logs = scaled_log_likelihoods(site, combine_scales(scale_left, scale_right))
+    return weighted_log_sum(weights, logs)
 
 
 def make_sumtable(
@@ -208,10 +331,7 @@ def sumtable_loglikelihood(
 ) -> float:
     """Log-likelihood from a precomputed sumtable at branch length ``z``."""
     site = sumtable_site_likelihoods(sumtable, eigenvalues, rates, z)
-    logs = np.log(site)
-    if scale is not None:
-        logs = logs - scale * LOG_SCALE_FACTOR
-    return float(np.dot(weights, logs))
+    return weighted_log_sum(weights, scaled_log_likelihoods(site, scale))
 
 
 def mix_invariant_loglikelihoods(
@@ -230,11 +350,12 @@ def mix_invariant_loglikelihoods(
         l_i = (1 - pinv) * gamma_i + pinv * inv_prob_i
 
     computed in log space (``logaddexp``) so deep-tree scaling survives.
+    The Gamma component goes through :func:`scaled_log_likelihoods` — the
+    same zero/dead handling as the unmixed paths — so a pattern whose
+    Gamma likelihood is exactly 0 contributes only its invariant mass.
     """
+    log_gamma = scaled_log_likelihoods(site_gamma, scale) + np.log1p(-pinv)
     with np.errstate(divide="ignore"):
-        log_gamma = np.log(site_gamma) + np.log1p(-pinv)
-        if scale is not None:
-            log_gamma = log_gamma - scale * LOG_SCALE_FACTOR
         log_inv = np.where(
             inv_prob > 0.0, np.log(pinv) + np.log(np.maximum(inv_prob, 1e-300)), -np.inf
         )
@@ -277,11 +398,30 @@ def branch_derivatives_pinv(
         g2 = g2 * unscale
     q = 1.0 - pinv
     site = q * g + pinv * inv_prob
-    ratio1 = q * g1 / site
-    ratio2 = q * g2 / site
+    with np.errstate(divide="ignore", invalid="ignore"):
+        ratio1 = q * g1 / site
+        ratio2 = q * g2 / site
+    _drop_undefined_ratios(ratio1, ratio2, scale)
     dlnl = float(np.dot(weights, ratio1))
     d2lnl = float(np.dot(weights, ratio2 - ratio1 * ratio1))
     return dlnl, d2lnl
+
+
+def _drop_undefined_ratios(
+    ratio1: np.ndarray, ratio2: np.ndarray, scale: np.ndarray | None
+) -> None:
+    """Zero the derivative contributions of patterns whose likelihood is
+    exactly 0 (site == 0 makes l'/l undefined; a dead pattern's -inf
+    log-likelihood is flat in the branch length, so 0 is the correct
+    contribution — and it keeps one impossible pattern from poisoning the
+    whole Newton step with NaN/inf)."""
+    dead = zero_pattern_mask(scale)
+    bad = ~(np.isfinite(ratio1) & np.isfinite(ratio2))
+    if dead is not None:
+        bad |= dead
+    if bad.any():
+        ratio1[bad] = 0.0
+        ratio2[bad] = 0.0
 
 
 def branch_derivatives(
@@ -290,12 +430,15 @@ def branch_derivatives(
     rates: np.ndarray,
     z: float,
     weights: np.ndarray,
+    scale: np.ndarray | None = None,
 ) -> tuple[float, float]:
     """First and second derivative of the log-likelihood w.r.t. the branch
     length, from the sumtable (one Newton-Raphson iteration's work).
 
-    Scaling counters cancel in the ratios l'/l and l''/l, so they are not
-    needed here.
+    Ordinary scaling counters cancel in the ratios l'/l and l''/l; the
+    counter array is consulted only to drop patterns carrying the
+    :data:`ZERO_SCALE` dead sentinel (their flushed CLV dummies would
+    otherwise contribute plausible-looking finite ratios).
     """
     coef = np.outer(rates, eigenvalues)               # (K, j) = r_k lambda_j
     expo = np.exp(coef * z)
@@ -303,8 +446,10 @@ def branch_derivatives(
     site = np.einsum("kmj,kj->m", sumtable, expo) / k
     d1 = np.einsum("kmj,kj->m", sumtable, coef * expo) / k
     d2 = np.einsum("kmj,kj->m", sumtable, coef * coef * expo) / k
-    ratio1 = d1 / site
-    ratio2 = d2 / site
+    with np.errstate(divide="ignore", invalid="ignore"):
+        ratio1 = d1 / site
+        ratio2 = d2 / site
+    _drop_undefined_ratios(ratio1, ratio2, scale)
     dlnl = float(np.dot(weights, ratio1))
     d2lnl = float(np.dot(weights, ratio2 - ratio1 * ratio1))
     return dlnl, d2lnl

@@ -22,6 +22,7 @@ import numpy as np
 from . import kernel
 from .eigen import EigenSystem
 from .gamma import GAMMA_CATEGORIES, discrete_gamma_rates
+from .kernels import get_kernel
 from .models import SubstitutionModel
 from .partition import PartitionData
 from .tree import Tree
@@ -33,12 +34,20 @@ __all__ = ["PartitionLikelihood", "BranchWorkspace"]
 class BranchWorkspace:
     """Precomputed state for Newton-Raphson on one branch of one partition:
     the eigenbasis sumtable plus the total scaling counter of the two
-    subtrees meeting at the branch."""
+    subtrees meeting at the branch.
+
+    ``epoch`` snapshots the engine's model-parameter epoch at preparation
+    time: the sumtable embeds the eigenvectors and implicitly pairs with
+    the rates/eigenvalues of that moment, so consuming it after an
+    alpha/rates/eigen update would silently mix old and new parameters —
+    the engine refuses such stale workspaces (see
+    :meth:`PartitionLikelihood.branch_loglikelihood`)."""
 
     edge: int
     sumtable: np.ndarray
     scale: np.ndarray | None
     n_patterns: int
+    epoch: int = 0
 
 
 class PartitionLikelihood:
@@ -64,6 +73,13 @@ class PartitionLikelihood:
         Optional kernel-operation listener with ``newview(partition, n)``,
         ``evaluate(partition, n)``, ``sumtable(partition, n)`` and
         ``derivative(partition, n)`` methods (n = pattern count touched).
+    kernel_backend:
+        Inner-loop implementation: a backend name from
+        :data:`repro.plk.kernels.KERNELS` (``"numpy"``, ``"blocked"``,
+        ``"numba"``), an already-resolved
+        :class:`~repro.plk.kernels.KernelBackend` instance, or ``None``
+        for the layered default (the ``REPRO_KERNEL`` environment
+        variable, else the numpy reference).
     """
 
     def __init__(
@@ -75,6 +91,7 @@ class PartitionLikelihood:
         categories: int = GAMMA_CATEGORIES,
         index: int = 0,
         recorder=None,
+        kernel_backend=None,
     ):
         if model.states != data.states:
             raise ValueError(
@@ -85,6 +102,7 @@ class PartitionLikelihood:
         self.index = index
         self.categories = categories
         self.recorder = recorder
+        self.kernel = get_kernel(kernel_backend)
         self.branch_lengths = np.full(tree.n_edges, 0.1)
         self._model = model
         self._alpha = float(alpha)
@@ -92,6 +110,12 @@ class PartitionLikelihood:
         self._invariant_mask: np.ndarray | None = None  # (m, s), lazy
         self._eigen = EigenSystem.from_model(model)
         self._rates = discrete_gamma_rates(alpha, categories)
+        self._rates.setflags(write=False)
+        # Counts model-parameter updates (alpha/rates/eigen).  Snapshotted
+        # into every BranchWorkspace and checked on use: a sumtable built
+        # under old parameters must never be combined with new
+        # eigenvalues/rates (silently wrong likelihoods, not errors).
+        self._param_epoch = 0
         # Per-inner-node CLV storage.  The signature records exactly which
         # children/edges/orientation a stored CLV was computed from, so
         # topology moves (which change adjacency) and virtual-root motion
@@ -101,10 +125,14 @@ class PartitionLikelihood:
         self._scale: dict[int, np.ndarray] = {}
         self._stored_sig: dict[int, tuple[int, int, int, int, int]] = {}
         self._dirty: set[int] = set(range(tree.n_taxa, tree.n_nodes))
-        # Transition-matrix cache: edge -> (length, P).  Branch lengths
-        # change rarely relative to how often P(t) is consumed (every
-        # partition touches every edge on a full traversal).
-        self._p_cache: dict[int, tuple[float, np.ndarray]] = {}
+        # Transition-matrix cache: edge -> (length, eigensystem, rates,
+        # backend-prepared P).  Branch lengths change rarely relative to
+        # how often P(t) is consumed (every partition touches every edge
+        # on a full traversal).  The eigensystem/rates are part of the key
+        # BY IDENTITY: parameter setters clear the cache, and the identity
+        # check makes a missed clear impossible to exploit (defense in
+        # depth against the stale-P bug class).
+        self._p_cache: dict[int, tuple[float, EigenSystem, np.ndarray, object]] = {}
 
     # ------------------------------------------------------------------
     # Parameters
@@ -120,6 +148,7 @@ class PartitionLikelihood:
             raise ValueError("cannot change the state-space of a partition")
         self._model = model
         self._eigen = EigenSystem.from_model(model)
+        self._param_epoch += 1
         self._p_cache.clear()
         self.invalidate_all()
 
@@ -131,6 +160,8 @@ class PartitionLikelihood:
     def alpha(self, alpha: float) -> None:
         self._alpha = float(alpha)
         self._rates = discrete_gamma_rates(alpha, self.categories)
+        self._rates.setflags(write=False)
+        self._param_epoch += 1
         self._p_cache.clear()
         self.invalidate_all()
 
@@ -201,14 +232,20 @@ class PartitionLikelihood:
         if not self.tree.is_leaf(node):
             self._dirty.add(node)
 
-    def _p_matrix(self, edge: int) -> np.ndarray:
+    def _p_matrix(self, edge: int):
         t = float(np.clip(self.branch_lengths[edge], kernel.MIN_BRANCH, kernel.MAX_BRANCH))
         hit = self._p_cache.get(edge)
-        if hit is not None and hit[0] == t:
-            return hit[1]
+        if (
+            hit is not None
+            and hit[0] == t
+            and hit[1] is self._eigen
+            and hit[2] is self._rates
+        ):
+            return hit[3]
         p = self._eigen.transition_matrices(t, self._rates)
-        self._p_cache[edge] = (t, p)
-        return p
+        prepared = self.kernel.prepare_p(p)
+        self._p_cache[edge] = (t, self._eigen, self._rates, prepared)
+        return prepared
 
     def _child_clv(self, node: int) -> tuple[np.ndarray, np.ndarray | None]:
         """CLV (or tip matrix) plus scaling counter for a traversal child."""
@@ -239,7 +276,7 @@ class PartitionLikelihood:
             clv2, sc2 = self._child_clv(step.c2)
             p1 = self._p_matrix(step.e1)
             p2 = self._p_matrix(step.e2)
-            clv, scale = kernel.newview(p1, clv1, sc1, p2, clv2, sc2)
+            clv, scale = self.kernel.newview(p1, clv1, sc1, p2, clv2, sc2)
             self._clv[node] = clv
             self._scale[node] = scale
             self._stored_sig[node] = sig
@@ -275,31 +312,21 @@ class PartitionLikelihood:
         clv_b, sc_b = self._child_clv(b)
         p = self._p_matrix(edge)
         if self._pinv == 0.0:
-            lnl = kernel.evaluate(
+            lnl = self.kernel.evaluate(
                 p, clv_a, sc_a, clv_b, sc_b, self._model.frequencies, self.data.weights
             )
         else:
-            site = kernel._root_site_likelihoods(
+            site = self.kernel.root_site_likelihoods(
                 p, clv_a, clv_b, self._model.frequencies
             )
-            scale = self._combined_scale(sc_a, sc_b)
+            scale = kernel.combine_scales(sc_a, sc_b)
             logs = kernel.mix_invariant_loglikelihoods(
                 site, scale, self._pinv, self.invariant_probabilities()
             )
-            lnl = float(np.dot(self.data.weights, logs))
+            lnl = kernel.weighted_log_sum(self.data.weights, logs)
         if self.recorder is not None:
             self.recorder.evaluate(self.index, self.n_patterns)
         return lnl
-
-    @staticmethod
-    def _combined_scale(
-        sc_a: np.ndarray | None, sc_b: np.ndarray | None
-    ) -> np.ndarray | None:
-        if sc_a is None:
-            return sc_b
-        if sc_b is None:
-            return sc_a
-        return sc_a + sc_b
 
     def site_loglikelihoods(self, root_edge: int = 0) -> np.ndarray:
         """Per-pattern log-likelihoods (diagnostics and tests)."""
@@ -308,16 +335,12 @@ class PartitionLikelihood:
         clv_a, sc_a = self._child_clv(a)
         clv_b, sc_b = self._child_clv(b)
         p = self._p_matrix(root_edge)
-        site = kernel._root_site_likelihoods(
-            p, clv_a if clv_a.ndim == 3 else clv_a,
-            clv_b, self._model.frequencies
+        site = self.kernel.root_site_likelihoods(
+            p, clv_a, clv_b, self._model.frequencies
         )
-        logs = np.log(site)
-        if sc_a is not None:
-            logs = logs - sc_a * kernel.LOG_SCALE_FACTOR
-        if sc_b is not None:
-            logs = logs - sc_b * kernel.LOG_SCALE_FACTOR
-        return logs
+        return kernel.scaled_log_likelihoods(
+            site, kernel.combine_scales(sc_a, sc_b)
+        )
 
     # ------------------------------------------------------------------
     # Branch-length machinery (Newton-Raphson support)
@@ -329,25 +352,30 @@ class PartitionLikelihood:
         a, b = self.tree.edge_nodes(edge)
         clv_a, sc_a = self._child_clv(a)
         clv_b, sc_b = self._child_clv(b)
-        table = kernel.make_sumtable(
+        table = self.kernel.make_sumtable(
             clv_a, clv_b, self._eigen.u, self._eigen.v, self._model.frequencies
         )
-        scale: np.ndarray | None = None
-        if sc_a is not None or sc_b is not None:
-            scale = np.zeros(self.n_patterns, dtype=np.int32)
-            if sc_a is not None:
-                scale = scale + sc_a
-            if sc_b is not None:
-                scale = scale + sc_b
+        scale = kernel.combine_scales(sc_a, sc_b)
         if self.recorder is not None:
             self.recorder.sumtable(self.index, self.n_patterns)
         return BranchWorkspace(
-            edge=edge, sumtable=table, scale=scale, n_patterns=self.n_patterns
+            edge=edge, sumtable=table, scale=scale, n_patterns=self.n_patterns,
+            epoch=self._param_epoch,
         )
+
+    def _check_workspace(self, ws: BranchWorkspace) -> None:
+        if ws.epoch != self._param_epoch:
+            raise RuntimeError(
+                "stale BranchWorkspace: model parameters (alpha/rates/eigen) "
+                f"changed after prepare_branch() on edge {ws.edge} — the "
+                "sumtable would be combined with mismatched eigenvalues/"
+                "rates; re-prepare the branch"
+            )
 
     def branch_loglikelihood(self, ws: BranchWorkspace, z: float) -> float:
         """Log-likelihood as a function of the length of ``ws.edge`` with
         everything else fixed (cheap: no traversal)."""
+        self._check_workspace(ws)
         if self.recorder is not None:
             self.recorder.derivative(self.index, self.n_patterns)
         z = float(np.clip(z, kernel.MIN_BRANCH, kernel.MAX_BRANCH))
@@ -366,11 +394,12 @@ class PartitionLikelihood:
         logs = kernel.mix_invariant_loglikelihoods(
             site, ws.scale, self._pinv, self.invariant_probabilities()
         )
-        return float(np.dot(self.data.weights, logs))
+        return kernel.weighted_log_sum(self.data.weights, logs)
 
     def branch_derivatives(self, ws: BranchWorkspace, z: float) -> tuple[float, float]:
         """(dlnL/dz, d2lnL/dz2) at branch length ``z`` from the sumtable —
         the per-iteration work of Newton-Raphson."""
+        self._check_workspace(ws)
         if self.recorder is not None:
             self.recorder.derivative(self.index, self.n_patterns)
         z = float(np.clip(z, kernel.MIN_BRANCH, kernel.MAX_BRANCH))
@@ -381,6 +410,7 @@ class PartitionLikelihood:
                 self._rates,
                 z,
                 self.data.weights,
+                ws.scale,
             )
         return kernel.branch_derivatives_pinv(
             ws.sumtable,

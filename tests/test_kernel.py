@@ -3,6 +3,8 @@
 The derivative machinery is validated against finite differences; the
 sumtable log-likelihood against the direct evaluate() path.
 """
+import warnings
+
 import numpy as np
 import pytest
 
@@ -166,3 +168,140 @@ class TestSumtable:
         tips = np.eye(4)[np.random.default_rng(0).integers(0, 4, m)]
         table = kernel.make_sumtable(tips, clv_b, eig.u, eig.v, model.frequencies)
         assert table.shape == (4, m, 4)
+
+
+class TestDeadPatterns:
+    """Regression tests for the zero-max-pattern scaling bug: a pattern
+    whose CLV underflows to exactly zero must surface as lnl = -inf, not
+    pick up scale counters and masquerade as a finite (astronomically
+    negative) likelihood."""
+
+    def _with_dead_pattern(self, setup):
+        model, eig, rates, clv_a, clv_b, weights = setup
+        clv_a = clv_a.copy()
+        clv_a[:, 3, :] = 0.0  # pattern 3 is impossible on this subtree
+        return model, eig, rates, clv_a, clv_b, weights
+
+    def test_newview_flags_zero_max_pattern(self, setup):
+        model, eig, rates, clv_a, clv_b, _ = self._with_dead_pattern(setup)
+        p = eig.transition_matrices(0.1, rates)
+        out, scale = kernel.newview(p, clv_a, None, p, clv_b, None)
+        dead = kernel.zero_pattern_mask(scale)
+        assert dead is not None and dead[3] and dead.sum() == 1
+        # the dead pattern's CLV is flushed to a harmless 1.0 plane,
+        # NOT endlessly multiplied by 2^256
+        np.testing.assert_array_equal(out[:, 3, :], 1.0)
+
+    def test_zero_pattern_does_not_defeat_fast_path(self, setup):
+        """One dead pattern must not drag healthy neighbors into the
+        slow rescale path (pre-fix: result.min()==0 forced a full pass
+        and pattern 3 got a bogus counter)."""
+        model, eig, rates, clv_a, clv_b, _ = self._with_dead_pattern(setup)
+        p = eig.transition_matrices(0.1, rates)
+        out, scale = kernel.newview(p, clv_a, None, p, clv_b, None)
+        healthy = np.ones(out.shape[1], dtype=bool)
+        healthy[3] = False
+        assert (scale[healthy] == 0).all()
+        expected = kernel.propagate(p, clv_a) * kernel.propagate(p, clv_b)
+        np.testing.assert_allclose(out[:, healthy], expected[:, healthy],
+                                   atol=1e-14)
+
+    def test_dead_pattern_with_weight_gives_neg_inf(self, setup):
+        """Pre-fix this produced a finite -weight*256*ln2-ish number."""
+        model, eig, rates, clv_a, clv_b, weights = self._with_dead_pattern(setup)
+        p = eig.transition_matrices(0.1, rates)
+        left, s_left = kernel.newview(p, clv_a, None, p, clv_b, None)
+        lnl = kernel.evaluate(p, left, s_left, clv_b, None,
+                              model.frequencies, weights)
+        assert lnl == -np.inf
+
+    def test_dead_pattern_with_zero_weight_is_dropped(self, setup):
+        model, eig, rates, clv_a, clv_b, weights = self._with_dead_pattern(setup)
+        p = eig.transition_matrices(0.1, rates)
+        left, s_left = kernel.newview(p, clv_a, None, p, clv_b, None)
+        w = weights.copy()
+        w[3] = 0
+        lnl = kernel.evaluate(p, left, s_left, clv_b, None,
+                              model.frequencies, w)
+        assert np.isfinite(lnl)
+
+    def test_sentinel_survives_inheritance(self, setup):
+        """A dead child stays dead through further pruning steps."""
+        model, eig, rates, clv_a, clv_b, _ = self._with_dead_pattern(setup)
+        p = eig.transition_matrices(0.1, rates)
+        out1, s1 = kernel.newview(p, clv_a, None, p, clv_b, None)
+        out2, s2 = kernel.newview(p, out1, s1, p, clv_b, None)
+        dead = kernel.zero_pattern_mask(s2)
+        assert dead is not None and dead[3]
+        # counters never overflow int32 however deep the tree goes
+        out3, s3 = kernel.newview(p, out2, s2, p, out2, s2)
+        assert kernel.zero_pattern_mask(s3)[3]
+        assert s3.dtype == np.int32 and (s3 <= kernel.ZERO_SCALE).all()
+
+    def test_derivatives_ignore_dead_patterns(self, setup):
+        """A dead pattern's -inf lnl is flat in branch length: its ratio
+        terms are 0/0 and must contribute exactly zero, not NaN."""
+        model, eig, rates, clv_a, clv_b, weights = self._with_dead_pattern(setup)
+        p = eig.transition_matrices(0.1, rates)
+        left, s_left = kernel.newview(p, clv_a, None, p, clv_b, None)
+        table = kernel.make_sumtable(left, clv_b, eig.u, eig.v,
+                                     model.frequencies)
+        table[:, 3, :] = 0.0  # what a dead pattern's sumtable looks like
+        d1, d2 = kernel.branch_derivatives(
+            table, eig.eigenvalues, rates, 0.4, weights, scale=s_left
+        )
+        assert np.isfinite(d1) and np.isfinite(d2)
+
+
+class TestLogDomainGuards:
+    """Regression tests for the unguarded np.log(site) call sites: a zero
+    site likelihood must yield -inf silently, never a RuntimeWarning."""
+
+    def test_scaled_log_likelihoods_on_zero_site(self):
+        site = np.array([0.5, 0.0, 2.0])
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # pre-fix: divide-by-zero warns
+            logs = kernel.scaled_log_likelihoods(site, None)
+        assert logs[0] == pytest.approx(np.log(0.5))
+        assert logs[1] == -np.inf
+        assert logs[2] == pytest.approx(np.log(2.0))
+
+    def test_scaled_log_likelihoods_applies_counters(self):
+        site = np.array([1.0, 1.0])
+        scale = np.array([0, 3], dtype=np.int32)
+        logs = kernel.scaled_log_likelihoods(site, scale)
+        assert logs[0] == 0.0
+        assert logs[1] == pytest.approx(-3 * kernel.LOG_SCALE_FACTOR)
+
+    def test_evaluate_zero_site_no_warning(self, setup):
+        model, eig, rates, clv_a, clv_b, weights = setup
+        clv_a = clv_a.copy()
+        clv_a[:, 5, :] = 0.0  # site likelihood is exactly 0 at the root
+        p = eig.transition_matrices(0.2, rates)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            lnl = kernel.evaluate(p, clv_a, None, clv_b, None,
+                                  model.frequencies, weights)
+        assert lnl == -np.inf
+
+    def test_sumtable_loglikelihood_zero_site_no_warning(self, setup):
+        model, eig, rates, clv_a, clv_b, weights = setup
+        clv_a = clv_a.copy()
+        clv_a[:, 5, :] = 0.0
+        table = kernel.make_sumtable(clv_a, clv_b, eig.u, eig.v,
+                                     model.frequencies)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            lnl = kernel.sumtable_loglikelihood(
+                table, eig.eigenvalues, rates, 0.3, weights, None
+            )
+        assert lnl == -np.inf
+
+    def test_weighted_log_sum_semantics(self):
+        w = np.array([2, 0, 1], dtype=np.int64)
+        logs = np.array([-1.0, -np.inf, -2.0])
+        # zero-weight -inf entries are excluded sites: dropped, not fatal
+        assert kernel.weighted_log_sum(w, logs) == pytest.approx(-4.0)
+        # positively weighted -inf makes the whole partition impossible
+        logs[2] = -np.inf
+        assert kernel.weighted_log_sum(w, logs) == -np.inf

@@ -1,0 +1,395 @@
+"""Cross-backend equivalence: every kernel backend against the numpy
+reference.
+
+The seam contract (``repro.plk.kernels``): identical log-likelihoods to
+within 1e-9 on every workload — scaling-heavy deep trees, +I mixtures,
+zero-width worker slices, single-pattern partitions — because all
+backends share the rescale/log-domain semantics and differ only in how
+the pattern-axis arithmetic is executed.
+
+The ``numba`` backend is exercised in whatever mode this interpreter
+provides: JIT-compiled when numba is importable, numpy-fallback
+otherwise (both must satisfy the same contract).
+"""
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.plk import (
+    EigenSystem,
+    PartitionLikelihood,
+    PartitionedAlignment,
+    SubstitutionModel,
+    discrete_gamma_rates,
+    get_kernel,
+    kernel,
+    uniform_scheme,
+)
+from repro.plk.kernels import (
+    KERNELS,
+    BlockedKernel,
+    KernelBackend,
+    NumbaKernel,
+    PreparedP,
+    numba_available,
+    raw_p,
+    transposed_p,
+)
+from repro.seqgen import random_topology_with_lengths, simulate_alignment
+
+try:
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    HAVE_HYPOTHESIS = True
+except ImportError:  # pragma: no cover - hypothesis is in the image
+    HAVE_HYPOTHESIS = False
+
+
+def make_backend(name):
+    with warnings.catch_warnings():
+        # numba-absent fallback announces itself; that is fine here
+        warnings.simplefilter("ignore", RuntimeWarning)
+        return get_kernel(name)
+
+
+@pytest.fixture(params=KERNELS)
+def backend(request):
+    return make_backend(request.param)
+
+
+@pytest.fixture(scope="module")
+def problem():
+    model = SubstitutionModel.random_gtr(17)
+    eig = EigenSystem.from_model(model)
+    rates = discrete_gamma_rates(0.6, 4)
+    return model, eig, rates
+
+
+def random_clvs(m, states=4, categories=4, seed=3):
+    rng = np.random.default_rng(seed)
+    a = rng.random((categories, m, states)) + 0.01
+    b = rng.random((categories, m, states)) + 0.01
+    w = rng.integers(1, 6, size=m).astype(np.int64)
+    return a, b, w
+
+
+class TestSelection:
+    def test_get_kernel_by_name(self):
+        for name in KERNELS:
+            b = make_backend(name)
+            assert b.name == name
+            assert isinstance(b, KernelBackend)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown kernel"):
+            get_kernel("simd")
+
+    def test_env_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNEL", "blocked")
+        assert get_kernel(None).name == "blocked"
+        monkeypatch.delenv("REPRO_KERNEL")
+        assert get_kernel(None).name == "numpy"
+
+    def test_instance_passthrough(self):
+        inst = BlockedKernel()
+        assert get_kernel(inst) is inst
+
+    def test_fresh_instance_per_call(self):
+        assert make_backend("blocked") is not make_backend("blocked")
+
+    def test_numba_mode_matches_availability(self):
+        nb = make_backend("numba")
+        assert isinstance(nb, NumbaKernel)
+        assert nb.jitted == numba_available()
+
+    def test_prepared_p_roundtrip(self, problem):
+        _, eig, rates = problem
+        p = eig.transition_matrices(0.2, rates)
+        prep = PreparedP.from_matrices(p)
+        assert raw_p(prep) is p
+        np.testing.assert_array_equal(transposed_p(prep),
+                                      p.transpose(0, 2, 1))
+        assert transposed_p(prep).flags.c_contiguous
+
+
+class TestPrimitiveEquivalence:
+    # 9000 patterns exceeds the blocked backend's full-width threshold
+    # (4 blocks of 2048 for DNA x 4 categories), so both its code paths
+    # are exercised across the two sizes.
+    @pytest.mark.parametrize("m", [37, 9000])
+    def test_newview(self, backend, problem, m):
+        _, eig, rates = problem
+        clv_a, clv_b, _ = random_clvs(m)
+        p1 = eig.transition_matrices(0.1, rates)
+        p2 = eig.transition_matrices(0.3, rates)
+        ref_out, ref_scale = kernel.newview(p1, clv_a, None, p2, clv_b, None)
+        out, scale = backend.newview(
+            backend.prepare_p(p1), clv_a, None,
+            backend.prepare_p(p2), clv_b, None,
+        )
+        np.testing.assert_allclose(out, ref_out, rtol=1e-12, atol=1e-300)
+        np.testing.assert_array_equal(scale, ref_scale)
+
+    def test_newview_tip_children(self, backend, problem):
+        _, eig, rates = problem
+        m = 200
+        rng = np.random.default_rng(9)
+        tips = np.eye(4)[rng.integers(0, 4, m)]
+        clv_b, _, _ = random_clvs(m, seed=10)
+        p1 = eig.transition_matrices(0.05, rates)
+        p2 = eig.transition_matrices(0.4, rates)
+        ref_out, _ = kernel.newview(p1, tips, None, p2, clv_b, None)
+        out, _ = backend.newview(
+            backend.prepare_p(p1), tips, None,
+            backend.prepare_p(p2), clv_b, None,
+        )
+        np.testing.assert_allclose(out, ref_out, rtol=1e-12)
+
+    def test_newview_zero_width(self, backend, problem):
+        """The idle-worker slice: zero patterns, no crash, no scale."""
+        _, eig, rates = problem
+        p = eig.transition_matrices(0.1, rates)
+        empty = np.zeros((4, 0, 4))
+        out, scale = backend.newview(
+            backend.prepare_p(p), empty, None, backend.prepare_p(p), empty, None
+        )
+        assert out.shape == (4, 0, 4)
+        assert scale.shape == (0,)
+
+    def test_newview_propagates_scale_counters(self, backend, problem):
+        _, eig, rates = problem
+        clv_a, clv_b, _ = random_clvs(50)
+        p = eig.transition_matrices(0.2, rates)
+        s1 = np.full(50, 2, dtype=np.int32)
+        s2 = np.full(50, 3, dtype=np.int32)
+        _, scale = backend.newview(
+            backend.prepare_p(p), clv_a, s1, backend.prepare_p(p), clv_b, s2
+        )
+        assert (scale >= 5).all()
+
+    def test_dead_pattern_semantics_shared(self, backend, problem):
+        model, eig, rates = problem
+        clv_a, clv_b, weights = random_clvs(40)
+        clv_a[:, 7, :] = 0.0
+        p = eig.transition_matrices(0.1, rates)
+        pp = backend.prepare_p(p)
+        out, scale = backend.newview(pp, clv_a, None, pp, clv_b, None)
+        dead = kernel.zero_pattern_mask(scale)
+        assert dead is not None and dead[7]
+        lnl = backend.evaluate(pp, out, scale, clv_b, None,
+                               model.frequencies, weights)
+        assert lnl == -np.inf
+
+    def test_propagate(self, backend, problem):
+        _, eig, rates = problem
+        clv_a, _, _ = random_clvs(123)
+        p = eig.transition_matrices(0.25, rates)
+        ref = kernel.propagate(p, clv_a)
+        np.testing.assert_allclose(
+            backend.propagate(backend.prepare_p(p), clv_a), ref, rtol=1e-12
+        )
+
+    def test_evaluate(self, backend, problem):
+        model, eig, rates = problem
+        clv_a, clv_b, weights = random_clvs(321)
+        p = eig.transition_matrices(0.15, rates)
+        ref = kernel.evaluate(p, clv_a, None, clv_b, None,
+                              model.frequencies, weights)
+        got = backend.evaluate(backend.prepare_p(p), clv_a, None, clv_b,
+                               None, model.frequencies, weights)
+        assert got == pytest.approx(ref, abs=1e-9)
+
+    def test_make_sumtable(self, backend, problem):
+        model, eig, rates = problem
+        clv_a, clv_b, _ = random_clvs(77)
+        ref = kernel.make_sumtable(clv_a, clv_b, eig.u, eig.v,
+                                   model.frequencies)
+        got = backend.make_sumtable(clv_a, clv_b, eig.u, eig.v,
+                                    model.frequencies)
+        np.testing.assert_allclose(got, ref, rtol=1e-12)
+
+    def test_blocked_eigen_cache_distinguishes_arrays(self, problem):
+        """The sumtable eigen-product cache is identity-keyed WITH strong
+        refs: distinct same-shaped arrays never alias each other."""
+        model, eig, rates = problem
+        b = BlockedKernel()
+        clv_a, clv_b, _ = random_clvs(30)
+        first = b.make_sumtable(clv_a, clv_b, eig.u, eig.v, model.frequencies)
+        other = SubstitutionModel.random_gtr(55)
+        eig2 = EigenSystem.from_model(other)
+        second = b.make_sumtable(clv_a, clv_b, eig2.u, eig2.v,
+                                 other.frequencies)
+        np.testing.assert_allclose(
+            second,
+            kernel.make_sumtable(clv_a, clv_b, eig2.u, eig2.v,
+                                 other.frequencies),
+            rtol=1e-12,
+        )
+        # and the original is still served correctly after the miss
+        np.testing.assert_allclose(
+            b.make_sumtable(clv_a, clv_b, eig.u, eig.v, model.frequencies),
+            first, rtol=1e-15,
+        )
+
+
+def tree_lnl(aln, tree, lengths, model, alpha, backend_name, pinv=0.0):
+    data = PartitionedAlignment(aln, uniform_scheme(aln.n_sites, aln.n_sites))
+    engine = PartitionLikelihood(
+        data.data[0], tree, model, alpha=alpha,
+        kernel_backend=make_backend(backend_name),
+    )
+    engine.set_branch_lengths(lengths)
+    if pinv:
+        engine.pinv = pinv
+    return engine
+
+
+class TestEngineEquivalence:
+    """Full-path agreement through PartitionLikelihood(kernel_backend=)."""
+
+    @pytest.fixture(scope="class")
+    def deep_scaling_workload(self):
+        # 48 taxa with short branches and strong rate heterogeneity:
+        # plenty of patterns pick up nonzero scale counters.
+        rng = np.random.default_rng(14)
+        tree, lengths = random_topology_with_lengths(48, rng, mean_length=0.02)
+        model = SubstitutionModel.random_gtr(6)
+        aln = simulate_alignment(tree, lengths, model, 0.15, 300, rng)
+        return aln, tree, lengths, model
+
+    @pytest.mark.parametrize("name", [k for k in KERNELS if k != "numpy"])
+    def test_scaling_heavy_deep_tree(self, deep_scaling_workload, name):
+        aln, tree, lengths, model = deep_scaling_workload
+        ref = tree_lnl(aln, tree, lengths, model, 0.15, "numpy")
+        got = tree_lnl(aln, tree, lengths, model, 0.15, name)
+        assert got.loglikelihood() == pytest.approx(
+            ref.loglikelihood(), abs=1e-9
+        )
+        np.testing.assert_allclose(
+            got.site_loglikelihoods(), ref.site_loglikelihoods(), atol=1e-9
+        )
+
+    @pytest.mark.parametrize("name", [k for k in KERNELS if k != "numpy"])
+    def test_invariant_mixture(self, deep_scaling_workload, name):
+        """+I (pinv mixture) routes through weighted_log_sum identically."""
+        aln, tree, lengths, model = deep_scaling_workload
+        ref = tree_lnl(aln, tree, lengths, model, 0.5, "numpy", pinv=0.25)
+        got = tree_lnl(aln, tree, lengths, model, 0.5, name, pinv=0.25)
+        assert got.loglikelihood() == pytest.approx(
+            ref.loglikelihood(), abs=1e-9
+        )
+
+    @pytest.mark.parametrize("name", [k for k in KERNELS if k != "numpy"])
+    def test_single_pattern_partition(self, small_tree, name):
+        tree, lengths = small_tree
+        model = SubstitutionModel.random_gtr(2)
+        aln = simulate_alignment(tree, lengths, model, 1.0, 1,
+                                 np.random.default_rng(1))
+        ref = tree_lnl(aln, tree, lengths, model, 1.0, "numpy")
+        got = tree_lnl(aln, tree, lengths, model, 1.0, name)
+        assert got.loglikelihood() == pytest.approx(
+            ref.loglikelihood(), abs=1e-9
+        )
+
+    @pytest.mark.parametrize("name", [k for k in KERNELS if k != "numpy"])
+    def test_branch_machinery(self, deep_scaling_workload, name):
+        """prepare_branch/branch_loglikelihood/derivatives through the
+        backend's sumtable match the reference to 1e-9."""
+        aln, tree, lengths, model = deep_scaling_workload
+        ref = tree_lnl(aln, tree, lengths, model, 0.15, "numpy")
+        got = tree_lnl(aln, tree, lengths, model, 0.15, name)
+        for edge in (0, 5, tree.n_edges - 1):
+            ws_r = ref.prepare_branch(edge)
+            ws_g = got.prepare_branch(edge)
+            for z in (0.02, 0.3):
+                assert got.branch_loglikelihood(ws_g, z) == pytest.approx(
+                    ref.branch_loglikelihood(ws_r, z), abs=1e-9
+                )
+                d_ref = ref.branch_derivatives(ws_r, z)
+                d_got = got.branch_derivatives(ws_g, z)
+                np.testing.assert_allclose(d_got, d_ref, rtol=1e-7)
+
+
+class TestParallelKernelSelection:
+    """kernel= threads end to end through teams, including zero-width
+    worker slices (more workers than patterns in a partition)."""
+
+    @pytest.mark.parametrize("name", ["numpy", "blocked"])
+    def test_threads_team_matches_sequential(self, small_tree, name):
+        from repro.core import PartitionedEngine
+        from repro.parallel import ParallelPLK
+
+        tree, lengths = small_tree
+        model = SubstitutionModel.random_gtr(4)
+        aln = simulate_alignment(tree, lengths, model, 1.0, 9,
+                                 np.random.default_rng(6))
+        tiny = PartitionedAlignment(aln, uniform_scheme(9, 3))
+        models = [model] * tiny.n_partitions
+        alphas = [1.0] * tiny.n_partitions
+        ref = PartitionedEngine(
+            tiny, tree.copy(), models=models, alphas=alphas,
+            initial_lengths=lengths,
+        ).loglikelihood(0)
+        with ParallelPLK(
+            tiny, tree, models, alphas, 6, backend="threads",
+            kernel=name, initial_lengths=lengths,
+        ) as team:
+            assert team.kernel == name
+            assert team.loglikelihood(0) == pytest.approx(ref, abs=1e-9)
+
+    def test_invalid_kernel_rejected(self, small_tree):
+        from repro.parallel import ParallelPLK
+
+        tree, lengths = small_tree
+        model = SubstitutionModel.random_gtr(4)
+        aln = simulate_alignment(tree, lengths, model, 1.0, 12,
+                                 np.random.default_rng(6))
+        data = PartitionedAlignment(aln, uniform_scheme(12, 6))
+        with pytest.raises(ValueError, match="kernel"):
+            ParallelPLK(data, tree, [model] * 2, [1.0] * 2, 2,
+                        backend="threads", kernel="simd")
+
+
+if HAVE_HYPOTHESIS:
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        m=st.integers(min_value=1, max_value=300),
+        t1=st.floats(min_value=1e-6, max_value=5.0),
+        t2=st.floats(min_value=1e-6, max_value=5.0),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        scale_shift=st.integers(min_value=0, max_value=300),
+        kill=st.booleans(),
+    )
+    def test_newview_property_equivalence(m, t1, t2, seed, scale_shift, kill):
+        """Property: for arbitrary pattern counts, branch lengths, CLV
+        magnitudes (down to guaranteed-underflow) and dead patterns, every
+        backend reproduces the reference newview bit-for-bit in the scale
+        counters and to 1e-12 relative in the CLV."""
+        model = SubstitutionModel.random_gtr(17)
+        eig = EigenSystem.from_model(model)
+        rates = discrete_gamma_rates(0.6, 4)
+        rng = np.random.default_rng(seed)
+        clv_a = (rng.random((4, m, 4)) + 0.01) * 2.0 ** (
+            -rng.integers(0, 2 * scale_shift + 1, size=(1, m, 1))
+        )
+        clv_b = rng.random((4, m, 4)) + 0.01
+        if kill:
+            clv_a[:, rng.integers(0, m), :] = 0.0
+        p1 = eig.transition_matrices(t1, rates)
+        p2 = eig.transition_matrices(t2, rates)
+        ref_out, ref_scale = kernel.newview(
+            p1, clv_a.copy(), None, p2, clv_b, None
+        )
+        for name in KERNELS:
+            backend = make_backend(name)
+            out, scale = backend.newview(
+                backend.prepare_p(p1), clv_a.copy(), None,
+                backend.prepare_p(p2), clv_b, None,
+            )
+            np.testing.assert_array_equal(scale, ref_scale, err_msg=name)
+            np.testing.assert_allclose(
+                out, ref_out, rtol=1e-12, atol=1e-300, err_msg=name
+            )

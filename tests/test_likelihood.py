@@ -207,3 +207,62 @@ class TestBranchWorkspace:
         engine = make_engine(small_alignment, tree, lengths, alpha=0.5)
         assert engine.gamma_rates.mean() == pytest.approx(1.0)
         assert engine.n_patterns > 0
+
+
+class TestWorkspaceStaleness:
+    """Regression tests for the stale-workspace bug: a BranchWorkspace
+    prepared before a model-parameter change silently mixed the OLD
+    sumtable with the NEW rates/eigensystem, producing a wrong-but-
+    plausible likelihood.  Pre-fix, the alpha case below returned a
+    finite lnl ~7.6 units off instead of raising."""
+
+    def test_alpha_change_invalidates_workspace(self, small_tree, small_alignment):
+        tree, lengths = small_tree
+        engine = make_engine(small_alignment, tree, lengths, alpha=1.0)
+        ws = engine.prepare_branch(2)
+        fresh_lnl = engine.branch_loglikelihood(ws, lengths[2])
+        assert np.isfinite(fresh_lnl)  # usable while parameters stand still
+        engine.alpha = 0.3  # rates change; branch length held fixed
+        with pytest.raises(RuntimeError, match="stale"):
+            engine.branch_loglikelihood(ws, lengths[2])
+        with pytest.raises(RuntimeError, match="stale"):
+            engine.branch_derivatives(ws, lengths[2])
+        # re-preparing after the change gives the correct value
+        ws2 = engine.prepare_branch(2)
+        expected = make_engine(
+            small_alignment, tree, lengths, alpha=0.3
+        ).loglikelihood()
+        assert engine.branch_loglikelihood(ws2, lengths[2]) == pytest.approx(
+            expected, abs=1e-8
+        )
+
+    def test_model_change_invalidates_workspace(self, small_tree, small_alignment):
+        tree, lengths = small_tree
+        engine = make_engine(small_alignment, tree, lengths,
+                             SubstitutionModel.jc69())
+        ws = engine.prepare_branch(1)
+        engine.model = SubstitutionModel.random_gtr(42)
+        with pytest.raises(RuntimeError, match="stale"):
+            engine.branch_derivatives(ws, lengths[1])
+
+    def test_branch_length_changes_do_not_invalidate(self, small_tree, small_alignment):
+        """The whole point of a sumtable: it is valid for ANY length of
+        its own edge, so length updates must not trip the guard."""
+        tree, lengths = small_tree
+        engine = make_engine(small_alignment, tree, lengths)
+        ws = engine.prepare_branch(4)
+        engine.set_branch_length(4, 0.42)
+        assert np.isfinite(engine.branch_loglikelihood(ws, 0.42))
+
+    def test_p_cache_keyed_on_parameters(self, small_tree, small_alignment):
+        """Warm engine after a model change == cold engine: the per-edge
+        P(t) cache must never serve matrices from the old eigensystem."""
+        tree, lengths = small_tree
+        engine = make_engine(small_alignment, tree, lengths,
+                             SubstitutionModel.jc69())
+        engine.loglikelihood()  # warm every cache
+        new_model = SubstitutionModel.random_gtr(123)
+        engine.model = new_model
+        warm = engine.loglikelihood()
+        cold = make_engine(small_alignment, tree, lengths, new_model)
+        assert warm == pytest.approx(cold.loglikelihood(), abs=1e-9)
