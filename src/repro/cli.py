@@ -30,6 +30,12 @@ Subcommands
     1.0 = perfect).  ``--rebalance`` additionally demonstrates the
     measured-feedback loop: warmup run -> calibrated cost model ->
     LPT replan -> re-measured imbalance.
+``top``
+    A refreshing ASCII dashboard over the live telemetry plane
+    (:mod:`repro.obs.live`): per-worker lanes showing busy fraction,
+    heartbeat age, commands/s and the live imbalance ratio.  Runs a
+    workload itself (rendering while it executes) or attaches to another
+    process's plane by shared-memory segment name (``--plane``).
 ``perfcheck``
     Re-run the committed perf-smoke workload and diff its structural and
     relative-performance summary against the committed baseline
@@ -144,6 +150,18 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--alpha", action="store_true",
                        help="also profile Gamma-shape (Brent) optimization")
         p.add_argument("--seed", type=int, default=42)
+        p.add_argument("--live", action="store_true",
+                       help="enable the live telemetry plane "
+                       "(repro.obs.live): per-worker shared-memory "
+                       "heartbeat rows, flight recorder with post-mortem "
+                       "JSONL dumps on worker death, live imbalance")
+        p.add_argument("--prom", metavar="PATH",
+                       help="with --live: write a Prometheus text-format "
+                       "snapshot (metrics + per-worker gauges) here after "
+                       "the run")
+        p.add_argument("--events", metavar="PATH",
+                       help="with --live: append the flight-recorder "
+                       "event stream here as JSONL while running")
 
     prof = sub.add_parser(
         "profile",
@@ -187,6 +205,29 @@ def build_parser() -> argparse.ArgumentParser:
                      "warmup run -> calibrated cost model -> LPT replan -> "
                      "re-measured imbalance")
 
+    top = sub.add_parser(
+        "top",
+        help="refreshing ASCII dashboard over the live telemetry plane "
+        "(per-worker busy fraction, heartbeat age, commands/s, imbalance)",
+    )
+    add_workload_args(top)
+    top.add_argument("--plane", metavar="SEGMENT",
+                     help="attach to a running process's worker-stats "
+                     "plane by shared-memory segment name instead of "
+                     "running a workload")
+    top.add_argument("--interval", type=float, default=0.5,
+                     help="seconds between dashboard frames "
+                     "(default: %(default)s)")
+    top.add_argument("--frames", type=int, default=0,
+                     help="maximum frames to render (0 = until the "
+                     "workload finishes; required with --plane)")
+    top.add_argument("--width", type=int, default=78,
+                     help="dashboard width in columns")
+    top.add_argument("--stall-threshold", type=float, default=5.0,
+                     help="seconds without heartbeat progress before a "
+                     "busy worker is reported stalled")
+    top.set_defaults(live=True)
+
     chk = sub.add_parser(
         "perfcheck",
         help="run the perf-smoke workload and diff against the committed "
@@ -219,6 +260,9 @@ def _validate_workload(args: argparse.Namespace) -> str | None:
                 f"{args.taxa}-taxon unrooted tree")
     if getattr(args, "comms", "pipe") == "shm" and args.backend != "processes":
         return "--comms shm requires --backend processes"
+    if (getattr(args, "prom", None) or getattr(args, "events", None)) and \
+            not getattr(args, "live", False):
+        return "--prom and --events require --live"
     return None
 
 
@@ -416,10 +460,15 @@ def _cmd_replay(args: argparse.Namespace) -> int:
 
 
 def _run_profiled_strategies(
-    args: argparse.Namespace, warmup: bool = False
+    args: argparse.Namespace, warmup: bool = False, lives: dict | None = None
 ) -> dict:
     """Run the shared workload under both strategies with a profiler
-    attached; returns ``{"old": RunProfile, "new": RunProfile}``."""
+    attached; returns ``{"old": RunProfile, "new": RunProfile}``.
+
+    With ``--live`` a fresh :class:`~repro.obs.live.LiveTelemetry` is
+    bound per strategy run; pass ``lives`` (an out-dict) to receive them
+    keyed by strategy.
+    """
     from .parallel import ParallelPLK
     from .perf import Profiler
 
@@ -428,6 +477,13 @@ def _run_profiled_strategies(
     kernel = getattr(args, "kernel", None)
     profiles = {}
     for strategy in ("old", "new"):
+        live = None
+        if getattr(args, "live", False):
+            from .obs import LiveTelemetry
+
+            live = LiveTelemetry(events_path=getattr(args, "events", None))
+            if lives is not None:
+                lives[strategy] = live
         profiler = Profiler(meta={
             "strategy": strategy, "taxa": args.taxa, "sites": data.scheme.n_sites,
             "partitions": data.n_partitions, "edges": len(edges),
@@ -437,7 +493,7 @@ def _run_profiled_strategies(
             data, tree, models, alphas, args.workers,
             backend=args.backend, distribution=args.distribution,
             comms=comms, kernel=kernel, initial_lengths=lengths,
-            profiler=profiler,
+            profiler=profiler, live=live,
         ) as team:
             if warmup:
                 # Untimed pass absorbs worker start-up / allocator / cache
@@ -472,8 +528,10 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         f"{args.workers} {args.backend} workers, {args.edges} branches"
         + (", alpha" if args.alpha else "")
         + (", warmup pass" if args.warmup else "")
+        + (", live plane" if args.live else "")
     )
-    profiles = _run_profiled_strategies(args, warmup=args.warmup)
+    lives: dict = {}
+    profiles = _run_profiled_strategies(args, warmup=args.warmup, lives=lives)
     for strategy in ("old", "new"):
         prof = profiles[strategy]
         print(f"\n{strategy}PAR\n{prof.summary()}")
@@ -483,7 +541,19 @@ def _cmd_profile(args: argparse.Namespace) -> int:
             )
             print(f"  comms ({prof.meta['comms']}): pipe {pipe} B, "
                   f"shm {prof.meta.get('shm_rx_bytes', 0)} B")
+        if strategy in lives:
+            live = lives[strategy]
+            print(f"  live: imbalance {live.imbalance():.3f}, "
+                  f"{len(live.recorder)} flight events buffered")
     print("\n" + compare_strategies(profiles["old"], profiles["new"]).summary())
+
+    if args.prom and "new" in lives:
+        out = Path(args.prom)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(lives["new"].prometheus())
+        print(f"wrote {out}")
+    if args.events:
+        print(f"event stream appended to {args.events}")
 
     if args.out:
         out = Path(args.out)
@@ -551,11 +621,17 @@ def _cmd_timeline(args: argparse.Namespace) -> int:
             kernel=getattr(args, "kernel", None),
             initial_lengths=lengths, profiler=profiler,
             tracer=tracer, metrics=metrics, telemetry=telemetry,
+            live=bool(getattr(args, "live", False)),
         ) as team:
             team.optimize_branches(edges, args.strategy)
             if args.alpha:
                 team.optimize_alpha(args.strategy)
-        events = tracer_to_chrome(tracer)
+        events = tracer_to_chrome(tracer, run_config={
+            "backend": team.backend, "n_workers": team.n_workers,
+            "comms": team.comms, "kernel": team.kernel,
+            "distribution": team.distribution, "strategy": args.strategy,
+            "live": team.live.enabled,
+        })
         print(ascii_timeline(tracer, width=args.width))
         snap = metrics.snapshot()
         counts = {
@@ -682,6 +758,96 @@ def _cmd_balance(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_top(args: argparse.Namespace) -> int:
+    from .obs.live import render_dashboard, sample_plane
+
+    clear = "\x1b[2J\x1b[H" if sys.stdout.isatty() else ""
+
+    if args.plane:
+        # Attach mode: observe another process's run by segment name
+        # (printed by any --live run).  The attached plane is never
+        # unlinked — close() only unmaps.
+        from .parallel.shm import WorkerStatsPlane
+
+        if args.frames < 1:
+            print("error: --plane requires --frames >= 1", file=sys.stderr)
+            return 2
+        try:
+            plane = WorkerStatsPlane.attach(args.plane)
+        except (FileNotFoundError, ValueError) as exc:
+            print(f"error: cannot attach {args.plane!r}: {exc}", file=sys.stderr)
+            return 2
+        try:
+            for frame in range(args.frames):
+                print(clear + render_dashboard(
+                    sample_plane(plane), width=args.width
+                ), flush=True)
+                if frame + 1 < args.frames:
+                    time.sleep(args.interval)
+                    if not clear:
+                        print()
+        finally:
+            plane.close()
+        return 0
+
+    import threading
+
+    from .obs import LiveTelemetry, MetricsRegistry
+    from .parallel import ParallelPLK, WorkerError
+
+    error = _validate_workload(args)
+    if error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    data, tree, lengths, models, alphas, edges = _build_workload(args)
+    live = LiveTelemetry(stall_threshold=args.stall_threshold)
+    metrics = MetricsRegistry()
+    failures: list[BaseException] = []
+
+    def workload(team: ParallelPLK) -> None:
+        try:
+            team.optimize_branches(edges, "new")
+            if args.alpha:
+                team.optimize_alpha("new")
+        except BaseException as exc:  # noqa: BLE001 - reported after join
+            failures.append(exc)
+
+    with ParallelPLK(
+        data, tree, models, alphas, args.workers,
+        backend=args.backend, distribution=args.distribution,
+        comms=getattr(args, "comms", "pipe"),
+        kernel=getattr(args, "kernel", None),
+        initial_lengths=lengths, metrics=metrics, live=live,
+    ) as team:
+        print(f"live plane segment: {live.plane.name}  "
+              f"(attach with: repro top --plane {live.plane.name} "
+              "--frames N)")
+        runner = threading.Thread(target=workload, args=(team,), daemon=True)
+        runner.start()
+        frames = 0
+        while runner.is_alive() and (args.frames == 0 or frames < args.frames):
+            print(clear + live.dashboard(width=args.width), flush=True)
+            if not clear:
+                print()
+            frames += 1
+            runner.join(timeout=args.interval)
+        runner.join()
+    # Final frame from the rows captured at close() — the just-recorded
+    # run stays renderable after the team is gone.
+    print(clear + live.dashboard(width=args.width), flush=True)
+    if failures:
+        exc = failures[0]
+        rank = getattr(exc, "rank", None)
+        print(f"workload failed: {exc}", file=sys.stderr)
+        if isinstance(exc, WorkerError) and live.last_postmortem:
+            print(f"post-mortem dump: {live.last_postmortem} (rank {rank})",
+                  file=sys.stderr)
+        return 1
+    print(f"done: imbalance {live.imbalance():.3f}, "
+          f"{len(live.recorder)} flight events buffered")
+    return 0
+
+
 def _cmd_perfcheck(args: argparse.Namespace) -> int:
     from .obs import check_profiles, load_baseline, write_baseline
 
@@ -739,6 +905,7 @@ def main(argv: list[str] | None = None) -> int:
         "profile": _cmd_profile,
         "balance": _cmd_balance,
         "timeline": _cmd_timeline,
+        "top": _cmd_top,
         "perfcheck": _cmd_perfcheck,
     }
     return handlers[args.command](args)

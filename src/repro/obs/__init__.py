@@ -16,6 +16,14 @@ Four composable pieces, each with a zero-overhead null default (mirroring
   terminal timeline, from live traces, measured RunProfiles, or simulated
   SimulationResults; plus baseline regression checks for CI.
 
+A fifth, RUNTIME piece lives in :mod:`repro.obs.live` (``live=True`` on
+:class:`~repro.parallel.ParallelPLK`): per-worker shared-memory heartbeat
+rows, a :class:`~repro.obs.live.HealthMonitor` for stall detection and
+live imbalance, a :class:`~repro.obs.live.FlightRecorder` ring buffer
+that dumps a JSONL post-mortem on worker death, Prometheus/JSONL
+streaming exporters and the ``repro top`` dashboard — see
+``docs/OBSERVABILITY.md`` for the two-tier overview.
+
 See the README's "Observability" section for a walkthrough and
 ``python -m repro timeline --help`` for the CLI entry point.
 """
@@ -29,7 +37,20 @@ from .export import (
     validate_chrome_trace,
     write_chrome_trace,
 )
+from .live import (
+    FlightRecorder,
+    HealthMonitor,
+    HealthReport,
+    LiveTelemetry,
+    NullFlightRecorder,
+    NullHealthMonitor,
+    NullLiveTelemetry,
+    WorkerSample,
+    render_dashboard,
+    sample_plane,
+)
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry, NullMetrics
+from .prometheus import prometheus_text
 from .regression import (
     RegressionReport,
     check_profiles,
@@ -53,6 +74,17 @@ __all__ = [
     "ConvergenceLog",
     "ConvergenceTelemetry",
     "NullTelemetry",
+    "LiveTelemetry",
+    "NullLiveTelemetry",
+    "HealthMonitor",
+    "NullHealthMonitor",
+    "HealthReport",
+    "FlightRecorder",
+    "NullFlightRecorder",
+    "WorkerSample",
+    "sample_plane",
+    "render_dashboard",
+    "prometheus_text",
     "tracer_to_chrome",
     "profile_to_chrome",
     "simulation_to_chrome",

@@ -46,14 +46,41 @@ _KIND_LETTERS = {
 }
 
 
-def _metadata_events(lanes: list[int], lane_names: dict[int, str] | None = None) -> list[dict]:
+def _metadata_events(
+    lanes: list[int],
+    lane_names: dict[int, str] | None = None,
+    run_config: dict | None = None,
+) -> list[dict]:
     names = lane_names or {}
     events = [{
         "ph": "M", "pid": _PID, "tid": MASTER_LANE, "name": "process_name",
         "args": {"name": "repro"},
     }]
+    # Stamp the run configuration so an exported timeline is
+    # self-describing: a ``run_config`` metadata event carries the full
+    # dict, ``process_labels`` a compact string Chrome renders next to
+    # the process name.  Worker lanes on the shm comms plane are marked
+    # in their lane names.
+    shm = bool(run_config) and run_config.get("comms") == "shm"
+    if run_config:
+        events.append({
+            "ph": "M", "pid": _PID, "tid": MASTER_LANE, "name": "run_config",
+            "args": dict(run_config),
+        })
+        events.append({
+            "ph": "M", "pid": _PID, "tid": MASTER_LANE,
+            "name": "process_labels",
+            "args": {"labels": ",".join(
+                f"{k}={v}" for k, v in sorted(run_config.items())
+            )},
+        })
     for lane in lanes:
-        default = "master" if lane == MASTER_LANE else f"worker {lane - 1}"
+        if lane == MASTER_LANE:
+            default = "master"
+        else:
+            default = f"worker {lane - 1}"
+            if shm:
+                default += " [shm]"
         events.append({
             "ph": "M", "pid": _PID, "tid": lane, "name": "thread_name",
             "args": {"name": names.get(lane, default)},
@@ -80,9 +107,15 @@ def _span_event(span: Span) -> dict:
     return event
 
 
-def tracer_to_chrome(tracer: Tracer) -> list[dict]:
-    """All spans and instant markers of a live trace as Chrome events."""
-    events = _metadata_events(tracer.lanes() or [MASTER_LANE])
+def tracer_to_chrome(tracer: Tracer, run_config: dict | None = None) -> list[dict]:
+    """All spans and instant markers of a live trace as Chrome events.
+
+    ``run_config`` (kernel backend, comms plane, distribution policy, …)
+    is stamped into the metadata events so the file is self-describing.
+    """
+    events = _metadata_events(
+        tracer.lanes() or [MASTER_LANE], run_config=run_config
+    )
     for span in sorted(tracer.spans, key=lambda s: (s.start, s.lane)):
         events.append(_span_event(span))
     for mark in tracer.instants:
@@ -94,16 +127,29 @@ def tracer_to_chrome(tracer: Tracer) -> list[dict]:
     return events
 
 
-def profile_to_chrome(profile) -> list[dict]:
+def profile_to_chrome(profile, run_config: dict | None = None) -> list[dict]:
     """A measured :class:`~repro.perf.profile.RunProfile` as Chrome events.
 
     Records carry durations, not timestamps, so the timeline is
     *reconstructed*: command ``i`` starts where command ``i-1``'s wall
     time ended.  Worker ``w``'s busy span sits at the start of its
     command; the gap to the command's end is its measured barrier wait.
+
+    The run configuration is stamped into the metadata events —
+    defaulting to what the profile itself recorded (backend, team size,
+    distribution, plus the comms/kernel/live meta stamps).
     """
+    if run_config is None:
+        run_config = {
+            "backend": profile.backend,
+            "n_workers": profile.n_workers,
+            "distribution": profile.distribution,
+        }
+        for key in ("comms", "kernel", "live", "strategy"):
+            if key in profile.meta:
+                run_config[key] = profile.meta[key]
     lanes = [MASTER_LANE] + [w + 1 for w in range(profile.n_workers)]
-    events = _metadata_events(lanes)
+    events = _metadata_events(lanes, run_config=run_config)
     cursor = 0.0
     for rec in profile.records:
         events.append({

@@ -1,0 +1,170 @@
+"""Prometheus text-format (exposition 0.0.4) snapshot exporter.
+
+Renders a :class:`~repro.obs.metrics.MetricsRegistry` snapshot — plus,
+when given, the live per-worker samples of :mod:`repro.obs.live` — as
+the plain-text format every Prometheus-compatible scraper ingests.  Pure
+string building, no sockets: callers decide whether the text lands in a
+file, an HTTP response, or a test assertion.
+
+Mapping rules
+-------------
+* metric names are sanitized (``repro_`` prefix, non ``[a-zA-Z0-9_:]``
+  characters become ``_``) and counters gain the conventional ``_total``
+  suffix;
+* every metric gets ``# HELP`` and ``# TYPE`` lines, with HELP text
+  escaping ``\\`` and newlines per the spec;
+* histograms render cumulative ``_bucket{le="..."}`` series ending in
+  ``le="+Inf"`` == ``_count``, plus ``_sum`` — reconstructed from the
+  registry's sparse (non-empty-only) bucket snapshot;
+* live worker samples become gauge families labelled by worker rank
+  (label values escape ``\\``, ``"`` and newlines).
+"""
+from __future__ import annotations
+
+import re
+
+__all__ = ["prometheus_text", "sanitize_metric_name", "escape_label_value"]
+
+_NAME_OK = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_NAME_BAD_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
+
+#: Per-worker gauge families rendered from live WorkerSample fields:
+#: (family suffix, sample attribute, help text).
+_LIVE_FAMILIES = (
+    ("live_worker_busy_seconds", "busy_seconds",
+     "Cumulative self-timed execute seconds for one worker."),
+    ("live_worker_wait_seconds", "wait_seconds",
+     "Cumulative seconds one worker spent waiting for commands."),
+    ("live_worker_commands", "commands",
+     "Worker commands executed (fused program steps count individually)."),
+    ("live_worker_patterns", "patterns",
+     "Cumulative alignment patterns processed by one worker."),
+    ("live_worker_heartbeat_age_seconds", "heartbeat_age",
+     "Seconds since the worker's stats row last changed."),
+    ("live_worker_busy_fraction", "busy_fraction",
+     "Busy over busy-plus-wait time for one worker."),
+)
+
+
+def sanitize_metric_name(name: str, prefix: str = "repro_") -> str:
+    """A valid Prometheus metric name from a registry name.
+
+    >>> sanitize_metric_name("broadcasts.likelihood")
+    'repro_broadcasts_likelihood'
+    >>> sanitize_metric_name("imbalance")
+    'repro_imbalance'
+    """
+    name = _NAME_BAD_CHARS.sub("_", name)
+    if not name.startswith(prefix):
+        name = prefix + name
+    if not _NAME_OK.match(name):
+        name = "_" + name
+    return name
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def escape_label_value(value: str) -> str:
+    r"""Escape a label value per the exposition format.
+
+    >>> escape_label_value('say "hi"\n')
+    'say \\"hi\\"\\n'
+    """
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _fmt(value: float) -> str:
+    value = float(value)
+    if value != value:  # NaN
+        return "NaN"
+    if value in (float("inf"), float("-inf")):
+        return "+Inf" if value > 0 else "-Inf"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def _counter_lines(name: str, snap: dict, out: list[str]) -> None:
+    if not name.endswith("_total"):
+        name += "_total"
+    out.append(f"# HELP {name} {_escape_help('Monotonic counter.')}")
+    out.append(f"# TYPE {name} counter")
+    out.append(f"{name} {_fmt(snap['value'])}")
+
+
+def _gauge_lines(name: str, snap: dict, out: list[str]) -> None:
+    out.append(f"# HELP {name} {_escape_help('Last observed value.')}")
+    out.append(f"# TYPE {name} gauge")
+    out.append(f"{name} {_fmt(snap['value'])}")
+
+
+def _histogram_lines(name: str, snap: dict, out: list[str]) -> None:
+    out.append(f"# HELP {name} {_escape_help('Observation histogram.')}")
+    out.append(f"# TYPE {name} histogram")
+    # The registry snapshot keeps only non-empty buckets (keyed by the
+    # repr of their upper bound); cumulative sums over the sorted bounds
+    # plus the +Inf == count terminator rebuild a valid exposition.
+    finite = sorted(
+        (float(bound), count)
+        for bound, count in snap.get("buckets", {}).items()
+        if bound != "+inf"
+    )
+    cumulative = 0
+    for bound, count in finite:
+        cumulative += count
+        out.append(f'{name}_bucket{{le="{_fmt(bound)}"}} {cumulative}')
+    out.append(f'{name}_bucket{{le="+Inf"}} {snap["count"]}')
+    out.append(f"{name}_sum {_fmt(snap['sum'])}")
+    out.append(f"{name}_count {snap['count']}")
+
+
+def prometheus_text(metrics=None, samples=None, run_config=None) -> str:
+    """The whole snapshot as one exposition-format string.
+
+    Parameters
+    ----------
+    metrics:
+        A :class:`~repro.obs.metrics.MetricsRegistry` (or anything with a
+        compatible ``snapshot()``), or None.
+    samples:
+        Live :class:`~repro.obs.live.WorkerSample` list, or None.
+    run_config:
+        Run-configuration dict; rendered as a ``repro_run_info`` gauge
+        with one label per entry (the Prometheus idiom for metadata).
+    """
+    out: list[str] = []
+    if metrics is not None and getattr(metrics, "enabled", True):
+        for raw_name, snap in sorted(metrics.snapshot().items()):
+            name = sanitize_metric_name(raw_name)
+            kind = snap.get("type")
+            if kind == "counter":
+                _counter_lines(name, snap, out)
+            elif kind == "gauge":
+                _gauge_lines(name, snap, out)
+            elif kind == "histogram":
+                _histogram_lines(name, snap, out)
+    if run_config:
+        labels = ",".join(
+            f'{_NAME_BAD_CHARS.sub("_", str(k))}="{escape_label_value(v)}"'
+            for k, v in sorted(run_config.items())
+        )
+        out.append("# HELP repro_run_info Run configuration (always 1).")
+        out.append("# TYPE repro_run_info gauge")
+        out.append(f"repro_run_info{{{labels}}} 1")
+    if samples:
+        for suffix, attr, help_text in _LIVE_FAMILIES:
+            name = f"repro_{suffix}"
+            out.append(f"# HELP {name} {_escape_help(help_text)}")
+            out.append(f"# TYPE {name} gauge")
+            for s in samples:
+                out.append(
+                    f'{name}{{worker="{s.rank}"}} {_fmt(getattr(s, attr))}'
+                )
+    return "\n".join(out) + "\n" if out else ""

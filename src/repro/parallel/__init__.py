@@ -22,7 +22,12 @@ from .balance import (
 )
 from .engine import ParallelPLK, WorkerError
 from .program import Program
-from .shm import SharedInputArena, SharedResultPlane, live_segments
+from .shm import (
+    SharedInputArena,
+    SharedResultPlane,
+    WorkerStatsPlane,
+    live_segments,
+)
 from .worker import WorkerState, slice_partition_data
 
 __all__ = [
@@ -38,6 +43,7 @@ __all__ = [
     "SharedResultPlane",
     "WorkerError",
     "WorkerState",
+    "WorkerStatsPlane",
     "live_segments",
     "block_indices",
     "block_partition_counts",

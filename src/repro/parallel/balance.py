@@ -479,12 +479,28 @@ class Rebalancer:
         :meth:`CostModel.calibrated`)."""
         return CostModel.calibrated(self.layout, plan, busy_seconds)
 
-    def rebalance(self, plan: DistributionPlan, measurement) -> DistributionPlan:
+    def rebalance(
+        self, plan: DistributionPlan, measurement, recorder=None
+    ) -> DistributionPlan:
         """A new plan from a measurement taken under ``plan``.
 
         ``measurement`` is a :class:`repro.perf.RunProfile` (its
         ``busy_seconds`` are used) or a raw (T,) busy-seconds vector.
+        ``recorder`` (a :class:`repro.obs.live.FlightRecorder` or the
+        :class:`~repro.obs.live.LiveTelemetry` facade) gets a
+        ``rebalance`` event stamping the measured imbalance and both
+        plans' predicted ratios, so mid-run rebalance decisions show up
+        in post-mortem dumps.
         """
         busy = getattr(measurement, "busy_seconds", measurement)
         model = self.calibrate(plan, busy)
-        return build_plan(self.layout, self.n_threads, self.policy, model)
+        new_plan = build_plan(self.layout, self.n_threads, self.policy, model)
+        if recorder is not None:
+            recorder.record(
+                "rebalance",
+                policy=self.policy,
+                measured_imbalance=round(imbalance_ratio(busy), 6),
+                old_predicted=round(plan.imbalance(), 6),
+                new_predicted=round(new_plan.imbalance(), 6),
+            )
+        return new_plan

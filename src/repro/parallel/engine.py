@@ -25,6 +25,7 @@ import itertools
 import os
 import pickle
 import threading
+import time
 import traceback
 from dataclasses import dataclass
 
@@ -43,7 +44,7 @@ from ..plk.partition import PartitionedAlignment
 from ..plk.tree import Tree
 from .balance import DistributionPlan, PartitionLayout, build_plan, imbalance_ratio
 from .program import Program, decode_results, encode_results, result_shapes, result_width
-from .shm import SharedInputArena, SharedResultPlane
+from .shm import SharedInputArena, SharedResultPlane, WorkerStatsPlane
 from .worker import WorkerState, slice_partition_data
 
 __all__ = ["ParallelPLK", "WorkerError"]
@@ -124,8 +125,14 @@ class _ThreadTeam:
             t.start()
 
     def _loop(self, rank: int) -> None:
+        stats = self.states[rank].stats
         while True:
-            self._start.wait()
+            if stats is None:
+                self._start.wait()
+            else:
+                t_wait = time.perf_counter()
+                self._start.wait()
+                stats.wait(time.perf_counter() - t_wait)
             if self._stop:
                 return
             try:
@@ -185,15 +192,22 @@ class _ThreadTeam:
 
 def _process_worker_main(
     conn, slices, tree, models, alphas, lengths, categories, kernel=None,
-    result_row=None,
+    result_row=None, stats_row=None, rank=0,
 ):
     state = WorkerState(slices, tree, models, alphas, lengths, categories, kernel)
+    state.rank = rank
+    if stats_row is not None:
+        state.attach_stats(stats_row, rank)
+    stats = state.stats
     n_parts = len(state.parts)
     while True:
+        t_wait = time.perf_counter() if stats is not None else 0.0
         try:
             cmd, timed = conn.recv()
         except (EOFError, OSError):
             return
+        if stats is not None:
+            stats.wait(time.perf_counter() - t_wait)
         if cmd[0] == "stop":
             conn.close()
             return
@@ -242,7 +256,7 @@ class _ProcessTeam:
     """
 
     def __init__(self, worker_args: list[tuple], comms: str = "pipe",
-                 n_partitions: int = 0):
+                 n_partitions: int = 0, stats_plane: WorkerStatsPlane | None = None):
         ctx = mp.get_context("fork")
         self.comms = comms
         self.n_partitions = n_partitions
@@ -259,9 +273,22 @@ class _ProcessTeam:
             self._arena = SharedInputArena([args[0] for args in worker_args])
             self._plane = SharedResultPlane(len(worker_args), n_partitions)
             worker_args = [
-                (self._arena.worker_slices[i], *args[1:], self._plane.row(i))
+                (self._arena.worker_slices[i], *args[1:])
                 for i, args in enumerate(worker_args)
             ]
+        # The live stats plane (created by the master, like the comms
+        # structures above, so forked children inherit the mapping) is
+        # NOT owned by the team: the engine keeps it readable after a
+        # worker death so the post-mortem dump sees the final rows.
+        worker_args = [
+            (
+                *args,
+                self._plane.row(i) if self._plane is not None else None,
+                stats_plane.row(i) if stats_plane is not None else None,
+                i,
+            )
+            for i, args in enumerate(worker_args)
+        ]
         self.conns = []
         self.procs = []
         self._closed = False
@@ -429,6 +456,17 @@ class ParallelPLK:
         A :class:`repro.obs.ConvergenceTelemetry` recording the batched
         optimizers' per-partition convergence vectors, or ``None`` to
         discard.
+    live:
+        The live telemetry plane (:mod:`repro.obs.live`): ``True`` for
+        defaults, or a configured :class:`repro.obs.live.LiveTelemetry`.
+        When enabled, every worker updates a lock-free shared-memory
+        stats row (heartbeat, busy/wait seconds, commands, patterns)
+        after each command, a :class:`~repro.obs.live.HealthMonitor` can
+        sample stalls and live imbalance mid-run, and worker failures
+        auto-dump the bounded :class:`~repro.obs.live.FlightRecorder`
+        ring buffer as a post-mortem JSONL file.  ``None``/``False``
+        (default) installs the zero-cost
+        :class:`~repro.obs.live.NullLiveTelemetry`.
     """
 
     def __init__(
@@ -449,6 +487,7 @@ class ParallelPLK:
         tracer=None,
         metrics=None,
         telemetry=None,
+        live=None,
     ):
         if n_workers < 1:
             raise ValueError("need at least one worker")
@@ -472,6 +511,16 @@ class ParallelPLK:
         self.tracer = tracer if tracer is not None else NullTracer()
         self.metrics = metrics if metrics is not None else NullMetrics()
         self.telemetry = telemetry if telemetry is not None else NullTelemetry()
+        # Imported lazily: obs.live depends on parallel.shm, so a
+        # module-level import here would be circular at package load.
+        from ..obs.live import LiveTelemetry, NullLiveTelemetry
+
+        if not live:
+            self.live = NullLiveTelemetry()
+        elif live is True:
+            self.live = LiveTelemetry()
+        else:
+            self.live = live
         self.n_partitions = data.n_partitions
         self.n_workers = n_workers
         self.backend = backend
@@ -502,6 +551,13 @@ class ParallelPLK:
             slice_partition_data(data, n_workers, w, self.plan)
             for w in range(n_workers)
         ]
+        # The stats plane must exist BEFORE the team: thread workers bind
+        # their row before the loops start, forked workers inherit the
+        # mapping.  The engine owns it (closed in close(), after the
+        # team) so post-mortems can still read the final rows.
+        self._stats_plane: WorkerStatsPlane | None = None
+        if self.live.enabled:
+            self._stats_plane = WorkerStatsPlane(n_workers, kernel=self.kernel)
         if backend == "threads":
             # Backend name, not instance: each WorkerState resolves its
             # own kernel so per-instance scratch never crosses threads.
@@ -510,6 +566,10 @@ class ParallelPLK:
                             categories, kernel)
                 for sl in worker_slices
             ]
+            for w, state in enumerate(states):
+                state.rank = w
+                if self._stats_plane is not None:
+                    state.attach_stats(self._stats_plane.row(w), w)
             self._team: _ThreadTeam | _ProcessTeam = _ThreadTeam(states)
         else:
             self._team = _ProcessTeam(
@@ -520,11 +580,18 @@ class ParallelPLK:
                 ],
                 comms=comms,
                 n_partitions=self.n_partitions,
+                stats_plane=self._stats_plane,
             )
         self.profiler.bind(backend=backend, n_workers=n_workers,
                            distribution=self.distribution, comms=self.comms,
-                           kernel=self.kernel)
+                           kernel=self.kernel, live=self.live.enabled)
         self.metrics.counter(f"kernel.{self.kernel}").inc()
+        if self.live.enabled:
+            self.live.bind(self._stats_plane, metrics=self.metrics, run_config={
+                "backend": backend, "comms": self.comms, "kernel": self.kernel,
+                "distribution": self.distribution, "n_workers": n_workers,
+                "n_partitions": self.n_partitions,
+            })
 
     # ------------------------------------------------------------------
 
@@ -532,9 +599,38 @@ class ParallelPLK:
         self.commands_issued += 1
         # Hot path: with the null defaults this adds two attribute reads
         # and zero method calls over the bare profiler dispatch.
+        if self.live.enabled:
+            return self._broadcast_live(cmd)
         if not (self.tracer.enabled or self.metrics.enabled):
             return self.profiler.broadcast(self._team, cmd)
         return self._broadcast_observed(cmd)
+
+    def _broadcast_live(self, cmd: tuple) -> list:
+        """One broadcast under the live plane: the flight recorder sees
+        the dispatch and the barrier exit, and a :class:`WorkerError`
+        (worker exception, or a dead process) triggers an automatic
+        post-mortem dump of the ring buffer before re-raising."""
+        live = self.live
+        op, kind, n_cmds = describe_command(cmd)
+        live.record("dispatch", op=op, kind=kind, n_commands=n_cmds)
+        t0 = time.perf_counter()
+        try:
+            if self.tracer.enabled or self.metrics.enabled:
+                results = self._broadcast_observed(cmd)
+            else:
+                results = self.profiler.broadcast(self._team, cmd)
+        except WorkerError as exc:
+            # EOFError/OSError originals mean the process died outright;
+            # anything else is a worker-side exception shipped back.
+            died = isinstance(exc.original, (EOFError, OSError))
+            event = "worker_death" if died else "worker_error"
+            live.record(event, rank=exc.rank, op=op,
+                        error=repr(exc.original))
+            live.postmortem(reason=event, rank=exc.rank)
+            raise
+        live.record("barrier_exit", op=op, kind=kind,
+                    wall=time.perf_counter() - t0)
+        return results
 
     def _broadcast_observed(self, cmd: tuple) -> list:
         """One observed broadcast: a master-lane span for the command, a
@@ -619,6 +715,12 @@ class ParallelPLK:
 
     def close(self) -> None:
         self._team.close()
+        self.live.close()
+        # The engine owns the stats plane (not the team): it must outlive
+        # a worker death so the post-mortem above could read final rows.
+        if self._stats_plane is not None:
+            self._stats_plane.close()
+            self._stats_plane = None
 
     def __enter__(self) -> "ParallelPLK":
         return self

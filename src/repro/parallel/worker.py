@@ -27,8 +27,16 @@ from ..plk.likelihood import BranchWorkspace, PartitionLikelihood
 from ..plk.partition import PartitionData, PartitionedAlignment
 from ..plk.tree import Tree
 from .balance import DistributionPlan, PartitionLayout, build_plan
+from .shm import WorkerStatsWriter
 
 __all__ = ["slice_partition_data", "WorkerState"]
+
+# Position of the active-partition list inside each command tuple, for
+# the live plane's patterns-processed counter.  Commands without an
+# entry either touch every partition ("lnl") or none (control ops).
+_ACTIVE_ARG = {
+    "lnl_parts": 2, "eval_alpha": 2, "prepare": 3, "deriv": 3, "branch_lnl": 3,
+}
 
 
 # One DistributionPlan per (alignment, team size, policy), so slicing a
@@ -136,6 +144,31 @@ class WorkerState:
         # identity to every reduction, so its commands short-circuit here
         # instead of dispatching zero-width kernels.
         self._empty = tuple(sl.n_patterns == 0 for sl in slices)
+        # Live telemetry (repro.obs.live): disabled by default — the hot
+        # dispatch path then pays one attribute read, nothing else.
+        self.stats: WorkerStatsWriter | None = None
+        self.rank = 0
+        self._kernel_name = getattr(self.kernel, "name", "numpy")
+        self._slice_patterns = tuple(sl.n_patterns for sl in slices)
+        self._total_patterns = sum(self._slice_patterns)
+
+    def attach_stats(self, row: np.ndarray, rank: int) -> None:
+        """Bind this worker to row ``rank`` of a
+        :class:`~repro.parallel.shm.WorkerStatsPlane` — every subsequent
+        command (and every step of a fused program) updates the row."""
+        self.rank = int(rank)
+        self.stats = WorkerStatsWriter(row, self.rank, self._kernel_name)
+
+    def _command_patterns(self, cmd: tuple) -> int:
+        """Alignment patterns one command touches on THIS worker (the
+        live plane's throughput counter; control ops count zero)."""
+        op = cmd[0]
+        if op in ("lnl",):
+            return self._total_patterns
+        idx = _ACTIVE_ARG.get(op)
+        if idx is None:
+            return 0
+        return int(sum(self._slice_patterns[p] for p in cmd[idx]))
 
     # Command dispatch ---------------------------------------------------
 
@@ -144,7 +177,17 @@ class WorkerState:
         handler = getattr(self, f"_cmd_{op}", None)
         if handler is None:
             raise ValueError(f"unknown worker command {op!r}")
-        return handler(*cmd[1:])
+        stats = self.stats
+        if stats is None or op == "prog":
+            # Fused programs record per STEP (each inner execute() lands
+            # here again with a plain op), never as one opaque block.
+            return handler(*cmd[1:])
+        stats.begin(op)
+        t0 = time.perf_counter()
+        try:
+            return handler(*cmd[1:])
+        finally:
+            stats.done(time.perf_counter() - t0, self._command_patterns(cmd))
 
     def execute_timed(self, cmd: tuple):
         """Execute plus this worker's own busy seconds for the command —
@@ -264,3 +307,12 @@ class WorkerState:
         """Execute an ordered fused program (one broadcast/barrier on the
         master side); returns one partial result per step."""
         return [self.execute(tuple(step)) for step in steps]
+
+    # -- fault injection ---------------------------------------------------
+
+    def _cmd_stall(self, rank: int, seconds: float) -> None:
+        """Make worker ``rank`` sleep mid-command — the chaos hook the
+        :class:`~repro.obs.live.HealthMonitor` stall tests (and manual
+        health-check drills) use; every other worker returns at once."""
+        if self.rank == rank:
+            time.sleep(float(seconds))

@@ -65,16 +65,19 @@ class Profiler:
         self.distribution = "cyclic"
         self.comms = "pipe"
         self.kernel = "numpy"
+        self.live = False
         self.meta = dict(meta or {})
 
     def bind(self, *, backend: str, n_workers: int, distribution: str,
-             comms: str = "pipe", kernel: str = "numpy") -> None:
+             comms: str = "pipe", kernel: str = "numpy",
+             live: bool = False) -> None:
         """Called by :class:`~repro.parallel.ParallelPLK` at team startup."""
         self.backend = backend
         self.n_workers = n_workers
         self.distribution = distribution
         self.comms = comms
         self.kernel = kernel
+        self.live = live
 
     def broadcast(self, team, cmd: tuple) -> list:
         # A fused program records as ONE region (one barrier) labelled
@@ -99,6 +102,7 @@ class Profiler:
         meta = dict(self.meta)
         meta.setdefault("comms", self.comms)
         meta.setdefault("kernel", self.kernel)
+        meta.setdefault("live", self.live)
         return RunProfile(
             backend=self.backend,
             n_workers=self.n_workers,

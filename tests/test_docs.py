@@ -23,6 +23,7 @@ DOCS = [
     "EXPERIMENTS.md",
     "docs/ARCHITECTURE.md",
     "docs/LOAD_BALANCE.md",
+    "docs/OBSERVABILITY.md",
 ]
 
 _LINK = re.compile(r"\[[^\]]*\]\(([^)]+)\)")
@@ -61,6 +62,7 @@ def test_referenced_repo_paths_exist(doc):
         "repro.parallel.balance",
         "repro.simmachine.costmodel",
         "repro.simmachine.machine",
+        "repro.obs.prometheus",
     ],
 )
 def test_doctests(module_name):

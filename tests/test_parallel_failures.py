@@ -6,6 +6,8 @@ exception between the start- and done-barriers left the master blocked on
 the barrier forever (threads), and a dead child left ``conn.recv()``
 raising bare ``EOFError`` with the remaining processes leaked.
 """
+import json
+
 import numpy as np
 import pytest
 
@@ -137,6 +139,81 @@ class TestDeadProcessWorker:
             with pytest.raises(WorkerError):
                 team.run_program((("lnl", 0), ("deriv", 4242, np.zeros(2), [0])))
             assert team.loglikelihood(0) == pytest.approx(before, abs=1e-10)
+
+
+class TestPostmortemFlightDump:
+    """With the live plane on, a worker death must leave a JSONL
+    flight-recorder dump behind — the black box for the crash."""
+
+    @staticmethod
+    def _load_dump(path):
+        """Every line must parse as JSON on its own (the JSONL contract)."""
+        with open(path) as fh:
+            return [json.loads(line) for line in fh]
+
+    @pytest.mark.timeout(60)
+    def test_dead_worker_produces_postmortem_jsonl(self, setup, tmp_path):
+        from repro.obs.live import LiveTelemetry
+
+        live = LiveTelemetry(postmortem_dir=str(tmp_path))
+        with make_team(setup, "processes", live=live) as team:
+            team.loglikelihood(0)  # some healthy traffic first
+            victim = team._team.procs[1]
+            victim.terminate()
+            victim.join(timeout=10)
+            with pytest.raises(WorkerError, match="worker"):
+                team.loglikelihood(0)
+        path = live.last_postmortem
+        assert path is not None and path.startswith(str(tmp_path))
+        events = self._load_dump(path)
+        assert events, "post-mortem dump is empty"
+        deaths = [e for e in events if e["event"] == "worker_death"]
+        assert deaths, "dump missing the worker_death event"
+        assert deaths[-1]["rank"] == 1  # the offending worker
+        # the run's story leads up to the death: dispatches were buffered
+        assert any(e["event"] == "dispatch" for e in events)
+        seqs = [e["seq"] for e in events]
+        assert seqs == sorted(seqs)
+
+    @pytest.mark.timeout(60)
+    def test_dead_worker_mid_program_dumps_and_cleans_shm(self, setup, tmp_path):
+        """The shm variant of the mid-program death: the dump is written
+        AND the teardown still unlinks every segment (arena, result
+        plane, stats plane)."""
+        from repro.obs.live import LiveTelemetry
+        from repro.parallel import live_segments
+
+        live = LiveTelemetry(postmortem_dir=str(tmp_path))
+        before = live_segments()
+        with make_team(setup, "processes", comms="shm", live=live) as team:
+            # arena + result plane + worker-stats plane
+            assert len(live_segments()) == len(before) + 3
+            victim = team._team.procs[1]
+            victim.terminate()
+            victim.join(timeout=10)
+            with pytest.raises(WorkerError, match="worker"):
+                team.run_program((("lnl", 0), ("lnl", 0)))
+        assert live_segments() == before
+        events = self._load_dump(live.last_postmortem)
+        deaths = [e for e in events if e["event"] == "worker_death"]
+        assert deaths and deaths[-1]["rank"] == 1
+        # it died inside the fused program ("prog(lnl+lnl)")
+        assert deaths[-1]["op"].startswith("prog")
+
+    @pytest.mark.timeout(30)
+    def test_worker_error_without_death_also_dumps(self, setup, tmp_path):
+        """A worker-side exception (not a death) is recorded as a
+        worker_error event and still triggers the dump."""
+        from repro.obs.live import LiveTelemetry
+
+        live = LiveTelemetry(postmortem_dir=str(tmp_path))
+        with make_team(setup, "threads", live=live) as team:
+            with pytest.raises(WorkerError):
+                team._broadcast(("explode",))
+        events = self._load_dump(live.last_postmortem)
+        errors = [e for e in events if e["event"] == "worker_error"]
+        assert errors and errors[-1]["rank"] == 0
+        assert not any(e["event"] == "worker_death" for e in events)
 
 
 @pytest.mark.parametrize("backend", BACKENDS)
