@@ -244,6 +244,71 @@ def build_parser() -> argparse.ArgumentParser:
     add_workload_args(chk, workers_default=2)
     chk.set_defaults(taxa=8, sites=400, partitions=6, edges=4, backend="threads")
 
+    srv = sub.add_parser(
+        "serve",
+        help="run the likelihood daemon: warm team pool + job queue "
+        "behind an NDJSON unix socket (see docs/SERVICE.md)",
+    )
+    srv.add_argument("--socket", default="/tmp/repro.sock",
+                     help="unix socket path (default: %(default)s)")
+    srv.add_argument("--workers", type=int, default=2,
+                     help="workers per team (default: %(default)s)")
+    srv.add_argument("--backend", choices=("threads", "processes"),
+                     default="threads")
+    srv.add_argument("--comms", choices=("pipe", "shm"), default="pipe",
+                     help="processes-backend result transport")
+    srv.add_argument("--kernel", choices=KERNELS, default="numpy")
+    srv.add_argument("--distribution", choices=DISTRIBUTIONS, default="cyclic")
+    srv.add_argument("--executors", type=int, default=2,
+                     help="concurrent job executors (default: %(default)s)")
+    srv.add_argument("--pool-capacity", type=int, default=2,
+                     help="max live warm teams (default: %(default)s)")
+    srv.add_argument("--cache-bytes", type=int, default=None,
+                     help="dataset-context cache budget in bytes "
+                     "(default: unbounded)")
+    srv.add_argument("--batch-limit", type=int, default=8,
+                     help="max loglikelihood jobs fused into one worker "
+                     "program (default: %(default)s)")
+    srv.add_argument("--live", action="store_true",
+                     help="per-team live telemetry planes; segment names "
+                     "appear under stats.live_planes for "
+                     "'repro top --plane'")
+    srv.add_argument("--allow-chaos", action="store_true",
+                     help="enable the chaos_* fault-injection ops "
+                     "(failure drills; never in production)")
+    srv.add_argument("--postmortem-dir",
+                     help="directory for worker-death flight-recorder "
+                     "dumps (default: $REPRO_FLIGHT_DIR or the tempdir)")
+
+    sbm = sub.add_parser(
+        "submit",
+        help="submit one job to a running 'repro serve' daemon and "
+        "print the result as JSON",
+    )
+    sbm.add_argument("--socket", default="/tmp/repro.sock",
+                     help="daemon unix socket path (default: %(default)s)")
+    sbm.add_argument("--op", default="loglikelihood",
+                     choices=("loglikelihood", "loglikelihood_parts",
+                              "optimize_branches", "optimize_alpha",
+                              "ping", "stats", "metrics", "shutdown"),
+                     help="job operation, or a daemon query "
+                     "(default: %(default)s)")
+    sbm.add_argument("--tenant", default="cli")
+    sbm.add_argument("--priority", type=int, default=0)
+    sbm.add_argument("--timeout", type=float, default=None,
+                     help="max seconds the job may wait in the queue")
+    sbm.add_argument("--wait", type=float, default=120.0,
+                     help="seconds to block for completion "
+                     "(default: %(default)s)")
+    sbm.add_argument("--taxa", type=int, default=8)
+    sbm.add_argument("--sites", type=int, default=400)
+    sbm.add_argument("--partitions", type=int, default=4)
+    sbm.add_argument("--seed", type=int, default=42)
+    sbm.add_argument("--edges", type=int, nargs="+",
+                     help="edges for optimize_branches (default: [0])")
+    sbm.add_argument("--spec", help="raw JSON job spec (overrides the "
+                     "dataset/op flags entirely)")
+
     return parser
 
 
@@ -896,6 +961,74 @@ def _cmd_perfcheck(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .serve.daemon import LikelihoodService, ServiceConfig, serve_forever
+
+    config = ServiceConfig(
+        workers=args.workers,
+        backend=args.backend,
+        comms=args.comms,
+        kernel=args.kernel,
+        distribution=args.distribution,
+        executors=args.executors,
+        pool_capacity=args.pool_capacity,
+        cache_bytes=args.cache_bytes,
+        batch_limit=args.batch_limit,
+        allow_chaos=args.allow_chaos,
+        live=args.live,
+        postmortem_dir=args.postmortem_dir,
+    )
+    service = LikelihoodService(config)
+    print(f"repro serve: {args.executors} executors, pool capacity "
+          f"{args.pool_capacity}, {args.workers}-worker {args.backend} teams "
+          f"({args.comms}/{args.kernel}); listening on {args.socket}",
+          flush=True)
+    serve_forever(service, args.socket)
+    print("repro serve: shut down")
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    import json
+
+    from .serve.client import SocketClient
+
+    with SocketClient(args.socket) as client:
+        if args.op == "ping":
+            print(json.dumps(client.ping()))
+            return 0
+        if args.op == "stats":
+            print(json.dumps(client.stats(), indent=2))
+            return 0
+        if args.op == "metrics":
+            print(client.metrics(), end="")
+            return 0
+        if args.op == "shutdown":
+            client.shutdown()
+            print("shutdown requested")
+            return 0
+        if args.spec:
+            spec = json.loads(args.spec)
+        else:
+            spec = {
+                "op": args.op,
+                "dataset": {
+                    "kind": "simulated",
+                    "taxa": args.taxa,
+                    "sites": args.sites,
+                    "partitions": args.partitions,
+                    "seed": args.seed,
+                },
+            }
+            if args.op == "optimize_branches":
+                spec["edges"] = args.edges if args.edges else [0]
+        job_id = client.submit(spec, tenant=args.tenant,
+                               priority=args.priority, timeout=args.timeout)
+        view = client.result(job_id, wait=args.wait)
+        print(json.dumps(view, indent=2))
+        return 0 if view.get("state") == "done" else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
@@ -907,6 +1040,8 @@ def main(argv: list[str] | None = None) -> int:
         "timeline": _cmd_timeline,
         "top": _cmd_top,
         "perfcheck": _cmd_perfcheck,
+        "serve": _cmd_serve,
+        "submit": _cmd_submit,
     }
     return handlers[args.command](args)
 

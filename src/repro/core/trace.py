@@ -70,8 +70,10 @@ COMMAND_KINDS = {
     "set_alpha_vec": "control",
     "set_model": "control",
     "release": "control",
-    # Fault injection for the live plane's stall-detection drills.
+    # Fault injection: live-plane stall drills and the serve tier's
+    # worker-death chaos drill.
     "stall": "control",
+    "die": "control",
     # Fused programs are classified by their first non-control step via
     # describe_command(); this entry is the all-control degenerate case.
     "prog": "control",

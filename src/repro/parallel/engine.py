@@ -713,6 +713,37 @@ class ParallelPLK:
         """The team's cumulative bytes-moved counters."""
         return self._team.comms_stats()
 
+    @property
+    def closed(self) -> bool:
+        """True once the worker team is torn down (a closed engine raises
+        on any broadcast) — pool bookkeeping reads this, e.g. after a
+        :class:`WorkerError` auto-terminated the team."""
+        return self._team._closed
+
+    def restore_parameters(
+        self, lengths: np.ndarray, alphas: list[float]
+    ) -> None:
+        """Reset every branch length and every partition alpha in ONE
+        fused program (a single barrier).
+
+        A warm team reused across requests (``repro.serve``) must hand
+        each job the same parameter state a cold engine starts from;
+        replaying the snapshot through the normal command vocabulary
+        keeps warm results bitwise-identical to one-shot runs.
+        """
+        steps = [
+            ("set_bl", edge, float(value), None)
+            for edge, value in enumerate(np.asarray(lengths, float))
+        ]
+        steps.append(
+            (
+                "set_alpha_vec",
+                np.asarray(alphas, float),
+                list(range(self.n_partitions)),
+            )
+        )
+        self.run_program(steps)
+
     def close(self) -> None:
         self._team.close()
         self.live.close()

@@ -35,12 +35,20 @@ from ..core.trace import describe_command
 __all__ = [
     "Program",
     "RESULT_SHAPES",
+    "WIRE_VERSION",
     "program_steps",
     "result_shapes",
     "result_width",
     "encode_results",
     "decode_results",
 ]
+
+#: Version of the master<->worker wire protocol: the command-tuple
+#: vocabulary, the ``("prog", steps)`` fusion format, and the
+#: :data:`RESULT_SHAPES` reply layout.  Documented as a protocol
+#: reference in ``docs/ARCHITECTURE.md``; bump on any incompatible
+#: change to the command vocabulary or reply layout.
+WIRE_VERSION = 1
 
 #: Reply shape per worker command op.  ``"scalar"`` -> one float,
 #: ``"vec"`` -> a ``(P,)`` float vector, ``"pair"`` -> a ``(d1, d2)``

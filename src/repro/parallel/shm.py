@@ -258,7 +258,7 @@ _PHASE_IDLE, _PHASE_BUSY = 0.0, 1.0
 STAT_OPS = (
     "?", "lnl", "lnl_parts", "prepare", "deriv", "branch_lnl", "release",
     "set_bl", "set_alpha", "set_model", "set_bl_vec", "set_alpha_vec",
-    "eval_alpha", "prog", "stall",
+    "eval_alpha", "prog", "stall", "die",
 )
 
 _OP_CODES = {op: i for i, op in enumerate(STAT_OPS)}

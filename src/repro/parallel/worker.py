@@ -16,6 +16,7 @@ the idle threads the paper describes.
 """
 from __future__ import annotations
 
+import os
 import time
 import weakref
 from dataclasses import dataclass
@@ -45,6 +46,10 @@ _ACTIVE_ARG = {
 # ndarrays and is unhashable); a weakref finalizer evicts the entry when
 # the alignment is collected, so a recycled id() can never alias.
 _PLAN_CACHE: dict[tuple[int, int, str], DistributionPlan] = {}
+
+# Captured at import (pre-fork): lets ``_cmd_die`` distinguish a forked
+# process child (hard ``os._exit``) from the thread backend (SystemExit).
+_MAIN_PID = os.getpid()
 
 
 def _team_plan(
@@ -316,3 +321,13 @@ class WorkerState:
         health-check drills) use; every other worker returns at once."""
         if self.rank == rank:
             time.sleep(float(seconds))
+
+    def _cmd_die(self, rank: int) -> None:
+        """Kill worker ``rank`` outright (``os._exit`` in a process child,
+        an uncatchable exception under the thread backend) — the chaos
+        hook the serve failure-path tests use to prove a team death
+        mid-job surfaces as a structured error, not a hung client."""
+        if self.rank == rank:
+            if os.getpid() != _MAIN_PID:
+                os._exit(1)
+            raise SystemExit(f"worker chaos death (rank {rank})")

@@ -20,6 +20,7 @@ and per-site likelihoods across a branch become weighted sums of
 """
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass
 
 import numpy as np
@@ -27,6 +28,13 @@ import numpy as np
 from .models import SubstitutionModel
 
 __all__ = ["EigenSystem"]
+
+# Process-wide memo for :meth:`EigenSystem.for_model`.  SubstitutionModel
+# is frozen with read-only arrays, so an eigensystem computed once is
+# valid for the model's whole lifetime.  Keyed by object identity (the
+# model holds ndarrays and is unhashable); a weakref finalizer evicts the
+# entry when the model is collected, so a recycled id() can never alias.
+_EIGEN_CACHE: dict[int, "EigenSystem"] = {}
 
 
 @dataclass(frozen=True)
@@ -65,6 +73,23 @@ class EigenSystem:
         for arr in (lam, u, v):
             arr.setflags(write=False)
         return cls(eigenvalues=lam, u=u, v=v, frequencies=pi)
+
+    @classmethod
+    def for_model(cls, model: SubstitutionModel) -> "EigenSystem":
+        """Memoized :meth:`from_model`: one decomposition per model object.
+
+        A service holding model objects across requests (and every
+        :class:`~repro.plk.likelihood.PartitionLikelihood` built from
+        them, including in forked worker children) shares a single
+        eigendecomposition instead of recomputing ``eigh`` per request.
+        """
+        key = id(model)
+        eigen = _EIGEN_CACHE.get(key)
+        if eigen is None:
+            eigen = cls.from_model(model)
+            _EIGEN_CACHE[key] = eigen
+            weakref.finalize(model, _EIGEN_CACHE.pop, key, None)
+        return eigen
 
     @property
     def states(self) -> int:

@@ -108,7 +108,7 @@ class PartitionLikelihood:
         self._alpha = float(alpha)
         self._pinv = 0.0
         self._invariant_mask: np.ndarray | None = None  # (m, s), lazy
-        self._eigen = EigenSystem.from_model(model)
+        self._eigen = EigenSystem.for_model(model)
         self._rates = discrete_gamma_rates(alpha, categories)
         self._rates.setflags(write=False)
         # Counts model-parameter updates (alpha/rates/eigen).  Snapshotted
@@ -147,7 +147,7 @@ class PartitionLikelihood:
         if model.states != self.data.states:
             raise ValueError("cannot change the state-space of a partition")
         self._model = model
-        self._eigen = EigenSystem.from_model(model)
+        self._eigen = EigenSystem.for_model(model)
         self._param_epoch += 1
         self._p_cache.clear()
         self.invalidate_all()

@@ -1,0 +1,119 @@
+"""One client interface, two transports.
+
+:class:`LocalClient` wraps an in-process
+:class:`~repro.serve.daemon.LikelihoodService` (tests, notebooks,
+embedding the service in a bigger program); :class:`SocketClient` speaks
+the NDJSON protocol to a running ``repro serve`` daemon.  Both expose
+the same methods, so code written against one runs against the other —
+the ``repro submit`` subcommand is a :class:`SocketClient` call.
+"""
+from __future__ import annotations
+
+import socket
+
+from . import protocol
+
+__all__ = ["LocalClient", "SocketClient"]
+
+
+class LocalClient:
+    """Drive a :class:`~repro.serve.daemon.LikelihoodService` in-process."""
+
+    def __init__(self, service):
+        self.service = service
+
+    def ping(self) -> dict:
+        return {"ok": True, "version": protocol.PROTOCOL_VERSION}
+
+    def submit(self, spec: dict, tenant: str = "default", priority: int = 0,
+               timeout: float | None = None) -> str:
+        return self.service.submit(spec, tenant, priority, timeout).id
+
+    def result(self, job_id: str, wait: float | None = None) -> dict:
+        return self.service.result(job_id, wait=wait)
+
+    def cancel(self, job_id: str) -> bool:
+        return self.service.cancel(job_id)
+
+    def stats(self) -> dict:
+        return self.service.stats()
+
+    def metrics(self) -> str:
+        return self.service.prometheus()
+
+    def run(self, spec: dict, tenant: str = "default", priority: int = 0,
+            wait: float = 60.0) -> dict:
+        """Submit and block for the terminal job view (convenience)."""
+        return self.result(self.submit(spec, tenant, priority), wait=wait)
+
+
+class SocketClient:
+    """Speak the NDJSON protocol to a daemon on a unix socket.
+
+    One connection per client; requests are serialized on it (the
+    protocol is strictly request/response per line).
+    """
+
+    def __init__(self, socket_path: str, connect_timeout: float = 10.0):
+        self.socket_path = socket_path
+        self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        self._sock.settimeout(connect_timeout)
+        self._sock.connect(socket_path)
+        self._sock.settimeout(None)
+        self._file = self._sock.makefile("rwb")
+
+    def _call(self, request: dict) -> dict:
+        self._file.write(protocol.encode(request))
+        self._file.flush()
+        line = self._file.readline()
+        if not line:
+            raise ConnectionError("daemon closed the connection")
+        response = protocol.decode(line)
+        if not response.get("ok"):
+            raise RuntimeError(response.get("error", "request failed"))
+        return response
+
+    def ping(self) -> dict:
+        return self._call({"op": "ping"})
+
+    def submit(self, spec: dict, tenant: str = "default", priority: int = 0,
+               timeout: float | None = None) -> str:
+        request = {"op": "submit", "spec": spec, "tenant": tenant,
+                   "priority": priority}
+        if timeout is not None:
+            request["timeout"] = timeout
+        return self._call(request)["id"]
+
+    def result(self, job_id: str, wait: float | None = None) -> dict:
+        request = {"op": "result", "id": job_id}
+        if wait is not None:
+            request["wait"] = wait
+        return self._call(request)["job"]
+
+    def cancel(self, job_id: str) -> bool:
+        return bool(self._call({"op": "cancel", "id": job_id})["cancelled"])
+
+    def stats(self) -> dict:
+        return self._call({"op": "stats"})["stats"]
+
+    def metrics(self) -> str:
+        return self._call({"op": "metrics"})["text"]
+
+    def shutdown(self) -> None:
+        self._call({"op": "shutdown"})
+
+    def run(self, spec: dict, tenant: str = "default", priority: int = 0,
+            wait: float = 60.0) -> dict:
+        return self.result(self.submit(spec, tenant, priority), wait=wait)
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "SocketClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

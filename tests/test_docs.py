@@ -24,6 +24,7 @@ DOCS = [
     "docs/ARCHITECTURE.md",
     "docs/LOAD_BALANCE.md",
     "docs/OBSERVABILITY.md",
+    "docs/SERVICE.md",
 ]
 
 _LINK = re.compile(r"\[[^\]]*\]\(([^)]+)\)")
@@ -63,6 +64,7 @@ def test_referenced_repo_paths_exist(doc):
         "repro.simmachine.costmodel",
         "repro.simmachine.machine",
         "repro.obs.prometheus",
+        "repro.serve.pool",
     ],
 )
 def test_doctests(module_name):
@@ -70,3 +72,45 @@ def test_doctests(module_name):
     result = doctest.testmod(module, verbose=False)
     assert result.attempted > 0, f"{module_name} lost its doctests"
     assert result.failed == 0
+
+
+_FENCED_PYTHON = re.compile(r"```python\n(.*?)```", re.S)
+
+
+@pytest.mark.timeout(300)
+def test_service_handbook_examples_run():
+    """Execute every ``>>>`` example in docs/SERVICE.md, in order, with
+    shared globals: the first block builds the in-process service the
+    later blocks drive, and the last block stops it.  This keeps the
+    operator's handbook honest the same way module doctests keep the
+    balance/distribution docstrings honest."""
+    text = (REPO / "docs" / "SERVICE.md").read_text()
+    blocks = [b for b in _FENCED_PYTHON.findall(text) if ">>>" in b]
+    assert len(blocks) >= 3, "SERVICE.md lost its executable examples"
+
+    parser = doctest.DocTestParser()
+    runner = doctest.DocTestRunner(
+        optionflags=doctest.ELLIPSIS | doctest.NORMALIZE_WHITESPACE
+    )
+    globs: dict = {}
+    try:
+        for i, block in enumerate(blocks):
+            test = doctest.DocTest(
+                parser.get_examples(block), globs,
+                f"docs/SERVICE.md[{i}]", "docs/SERVICE.md", None, block,
+            )
+            runner.run(test, clear_globs=False)
+            globs.update(test.globs)  # DocTest copies globs; carry state forward
+    finally:
+        service = globs.get("service")
+        if service is not None:
+            service.stop()
+    assert runner.failures == 0, "docs/SERVICE.md examples drifted from the code"
+    assert runner.tries > 0
+
+
+def test_readme_indexes_every_docs_page():
+    """The README docs index must link all four docs/ pages."""
+    readme = (REPO / "README.md").read_text()
+    for page in sorted(p.name for p in (REPO / "docs").glob("*.md")):
+        assert f"docs/{page}" in readme, f"README does not link docs/{page}"
