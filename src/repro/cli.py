@@ -72,7 +72,7 @@ __all__ = ["main", "build_parser"]
 
 def build_parser() -> argparse.ArgumentParser:
     from .parallel.distribution import DISTRIBUTIONS
-    from .plk.kernels import KERNELS
+    from .plk.kernels import KERNEL_CHOICES
 
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -98,7 +98,7 @@ def build_parser() -> argparse.ArgumentParser:
     ana.add_argument("--tree", help="starting tree (Newick; default: "
                      "randomized stepwise-addition parsimony)")
     ana.add_argument("--strategy", choices=("old", "new"), default="new")
-    ana.add_argument("--kernel", choices=KERNELS, default="numpy",
+    ana.add_argument("--kernel", choices=KERNEL_CHOICES, default="numpy",
                      help="PLK inner-loop backend (default: %(default)s)")
     ana.add_argument("--branch-mode", choices=("joint", "per_partition"),
                      default="per_partition")
@@ -138,11 +138,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="result transport for the processes backend: "
                        "pickled pipe replies or the zero-copy shared-memory "
                        "result plane (default: %(default)s)")
-        p.add_argument("--kernel", choices=KERNELS, default="numpy",
+        p.add_argument("--kernel", choices=KERNEL_CHOICES, default="numpy",
                        help="PLK inner-loop backend: the numpy reference, "
-                       "the cache-blocked BLAS kernel, or the numba JIT "
-                       "(falls back to numpy when numba is missing; "
-                       "default: %(default)s)")
+                       "the cache-blocked BLAS kernel, the numba JIT "
+                       "(falls back to numpy when numba is missing), or "
+                       "the repeat-aware composites repeats[+blocked|"
+                       "+numba] (default: %(default)s)")
         p.add_argument("--distribution", choices=DISTRIBUTIONS,
                        default="cyclic")
         p.add_argument("--edges", type=int, default=6,
@@ -257,7 +258,7 @@ def build_parser() -> argparse.ArgumentParser:
                      default="threads")
     srv.add_argument("--comms", choices=("pipe", "shm"), default="pipe",
                      help="processes-backend result transport")
-    srv.add_argument("--kernel", choices=KERNELS, default="numpy")
+    srv.add_argument("--kernel", choices=KERNEL_CHOICES, default="numpy")
     srv.add_argument("--distribution", choices=DISTRIBUTIONS, default="cyclic")
     srv.add_argument("--executors", type=int, default=2,
                      help="concurrent job executors (default: %(default)s)")
@@ -306,6 +307,9 @@ def build_parser() -> argparse.ArgumentParser:
     sbm.add_argument("--seed", type=int, default=42)
     sbm.add_argument("--edges", type=int, nargs="+",
                      help="edges for optimize_branches (default: [0])")
+    sbm.add_argument("--kernel", choices=KERNEL_CHOICES, default=None,
+                     help="per-job kernel backend override (the daemon "
+                     "keeps one warm team per dataset+kernel)")
     sbm.add_argument("--spec", help="raw JSON job spec (overrides the "
                      "dataset/op flags entirely)")
 
@@ -1022,6 +1026,8 @@ def _cmd_submit(args: argparse.Namespace) -> int:
             }
             if args.op == "optimize_branches":
                 spec["edges"] = args.edges if args.edges else [0]
+            if args.kernel:
+                spec["kernel"] = args.kernel
         job_id = client.submit(spec, tenant=args.tenant,
                                priority=args.priority, timeout=args.timeout)
         view = client.result(job_id, wait=args.wait)

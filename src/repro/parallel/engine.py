@@ -22,7 +22,6 @@ Backend notes
 from __future__ import annotations
 
 import itertools
-import os
 import pickle
 import threading
 import time
@@ -39,7 +38,7 @@ from ..obs.metrics import NullMetrics
 from ..obs.tracer import NullTracer
 from ..optimize.newton import BatchedNewton, newton_optimize
 from ..optimize.brent import BatchedBrent
-from ..plk.kernels import KERNEL_ENV, KERNELS
+from ..plk.kernels import normalize_kernel_name
 from ..plk.partition import PartitionedAlignment
 from ..plk.tree import Tree
 from .balance import DistributionPlan, PartitionLayout, build_plan, imbalance_ratio
@@ -423,12 +422,17 @@ class ParallelPLK:
         backend shares one address space and reports ``"local"``.
     kernel:
         Inner-loop implementation for every worker, by name from
-        :data:`repro.plk.kernels.KERNELS` — ``"numpy"`` (the reference),
-        ``"blocked"`` (cache-blocked BLAS) or ``"numba"`` (JIT, degrades
-        to numpy when unavailable).  ``None`` reads ``REPRO_KERNEL``
-        from the environment, defaulting to ``"numpy"``.  The resolved
-        name is exposed as ``self.kernel`` and stamped into profiles,
-        traces and metrics.
+        :data:`repro.plk.kernels.KERNEL_CHOICES` — ``"numpy"`` (the
+        reference), ``"blocked"`` (cache-blocked BLAS), ``"numba"``
+        (JIT, degrades to numpy when unavailable), or the repeat-aware
+        composites ``"repeats"`` / ``"repeats+blocked"`` /
+        ``"repeats+numba"`` (each worker builds repeat indexes for ITS
+        OWN pattern slices post-fork; the result layout over the wire —
+        ``comms=shm`` included — is unchanged, since compressed CLVs are
+        expanded at the evaluate boundary inside the worker).  ``None``
+        reads ``REPRO_KERNEL`` from the environment, defaulting to
+        ``"numpy"``.  The canonical name is exposed as ``self.kernel``
+        and stamped into profiles, traces and metrics.
     fuse_programs:
         When True (default), the batched optimizers issue fused
         :class:`~repro.parallel.program.Program` broadcasts — e.g.
@@ -497,12 +501,7 @@ class ParallelPLK:
             raise ValueError("comms must be 'pipe' or 'shm'")
         if comms == "shm" and backend != "processes":
             raise ValueError("comms='shm' requires the processes backend")
-        if kernel is None:
-            kernel = os.environ.get(KERNEL_ENV, "").strip() or "numpy"
-        if kernel not in KERNELS:
-            raise ValueError(
-                f"kernel must be one of {', '.join(KERNELS)} (got {kernel!r})"
-            )
+        kernel = normalize_kernel_name(kernel)
         if profiler is None:
             from ..perf import NullProfiler
 

@@ -23,12 +23,15 @@ from .gappy import (
     traversal_cost_ratio,
 )
 from .kernels import (
+    KERNEL_CHOICES,
     KERNELS,
     BlockedKernel,
     KernelBackend,
     NumbaKernel,
     NumpyKernel,
+    RepeatsKernel,
     get_kernel,
+    normalize_kernel_name,
 )
 from .likelihood import BranchWorkspace, PartitionLikelihood
 from .models import SubstitutionModel, n_exchange_rates
@@ -42,6 +45,12 @@ from .partition import (
     uniform_scheme,
 )
 from .phylip import parse_fasta, parse_phylip, write_fasta, write_phylip
+from .repeats import (
+    NodeRepeats,
+    effective_pattern_weights,
+    repeat_profile,
+    tip_state_codes,
+)
 from .tree import TraversalStep, Tree
 
 __all__ = [
@@ -55,8 +64,10 @@ __all__ = [
     "GAMMA_CATEGORIES",
     "GappyEngine",
     "InducedSubtree",
+    "KERNEL_CHOICES",
     "KERNELS",
     "KernelBackend",
+    "NodeRepeats",
     "NumbaKernel",
     "NumpyKernel",
     "Partition",
@@ -64,23 +75,28 @@ __all__ = [
     "PartitionLikelihood",
     "PartitionScheme",
     "PartitionedAlignment",
+    "RepeatsKernel",
     "SubstitutionModel",
     "TraversalStep",
     "Tree",
     "compress_columns",
     "discrete_gamma_rates",
+    "effective_pattern_weights",
     "empirical_frequencies",
     "frequency_ratios",
     "get_datatype",
     "get_kernel",
     "induced_subtree",
     "n_exchange_rates",
+    "normalize_kernel_name",
     "parse_fasta",
     "parse_newick",
     "parse_partition_file",
     "parse_phylip",
     "ratios_to_frequencies",
+    "repeat_profile",
     "taxon_coverage",
+    "tip_state_codes",
     "traversal_cost_ratio",
     "uniform_scheme",
     "write_fasta",

@@ -23,6 +23,16 @@ can be swapped per run, exactly like the ``comms=`` transport seam:
     when numba is importable; otherwise it degrades gracefully to the
     numpy reference with a :class:`RuntimeWarning` — selecting ``numba``
     is always safe, never a hard dependency.
+``repeats``
+    Repeat-aware marker backend: primitives delegate verbatim to an
+    inner backend (numpy by default; ``repeats+blocked`` /
+    ``repeats+numba`` compose), but ``supports_repeats = True`` tells
+    :class:`~repro.plk.likelihood.PartitionLikelihood` to build the
+    per-node repeat index (:mod:`repro.plk.repeats`), run ``newview``
+    only over each node's unique site classes, and expand by gather at
+    the evaluate/sumtable boundaries.  The *work avoidance* lives in the
+    engine; the seam only carries the capability flag, so all three flop
+    backends get the algorithmic speedup through one code path.
 
 Scaling/underflow semantics are shared: every backend funnels through
 :func:`repro.plk.kernel.rescale` and the log-domain helpers, so the
@@ -48,17 +58,24 @@ from . import kernel
 
 __all__ = [
     "KERNELS",
+    "KERNEL_CHOICES",
     "KernelBackend",
     "PreparedP",
     "NumpyKernel",
     "BlockedKernel",
     "NumbaKernel",
+    "RepeatsKernel",
     "get_kernel",
+    "normalize_kernel_name",
     "numba_available",
 ]
 
 #: Selectable backend names, in the order shown by ``--kernel`` help.
-KERNELS = ("numpy", "blocked", "numba")
+KERNELS = ("numpy", "blocked", "numba", "repeats")
+
+#: Everything ``--kernel`` accepts: the base backends plus the composite
+#: repeat-aware spellings (``repeats`` alone wraps the numpy reference).
+KERNEL_CHOICES = KERNELS + ("repeats+blocked", "repeats+numba")
 
 #: Environment variable consulted when no explicit kernel is requested.
 KERNEL_ENV = "REPRO_KERNEL"
@@ -191,6 +208,23 @@ class BlockedKernel(NumpyKernel):
         # id-keyed with strong refs kept alongside, so a recycled id of a
         # garbage-collected array can never alias a stale entry.
         self._eig_cache: dict[tuple[int, int, int], tuple] = {}
+        # raw (unprepared) matrix stacks memoize their contiguous
+        # transpose on matrix identity, same idiom as _eig_cache: cold
+        # paths that repeatedly hand the same raw ``p`` stop paying the
+        # per-call ascontiguousarray of :func:`transposed_p`.
+        self._pt_cache: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+
+    def _transposed(self, p) -> np.ndarray:
+        if isinstance(p, PreparedP):
+            return p.pt
+        hit = self._pt_cache.get(id(p))
+        if hit is not None and hit[0] is p:
+            return hit[1]
+        if len(self._pt_cache) > 32:
+            self._pt_cache.clear()
+        pt = np.ascontiguousarray(p.transpose(0, 2, 1))
+        self._pt_cache[id(p)] = (p, pt)
+        return pt
 
     # -- geometry ------------------------------------------------------
 
@@ -212,11 +246,11 @@ class BlockedKernel(NumpyKernel):
         return PreparedP.from_matrices(p)
 
     def propagate(self, p, clv: np.ndarray) -> np.ndarray:
-        return np.matmul(_as_3d(clv), transposed_p(p))
+        return np.matmul(_as_3d(clv), self._transposed(p))
 
     def newview(self, p1, clv1, scale1, p2, clv2, scale2, out=None):
-        pt1 = transposed_p(p1)
-        pt2 = transposed_p(p2)
+        pt1 = self._transposed(p1)
+        pt2 = self._transposed(p2)
         c1 = _as_3d(clv1)
         c2 = _as_3d(clv2)
         n_cat, states = pt1.shape[0], pt1.shape[2]
@@ -251,7 +285,7 @@ class BlockedKernel(NumpyKernel):
         return result, scale
 
     def root_site_likelihoods(self, p, clv_left, clv_right, frequencies):
-        moved = np.matmul(_as_3d(clv_right), transposed_p(p))
+        moved = np.matmul(_as_3d(clv_right), self._transposed(p))
         weighted = _as_3d(clv_left) * frequencies
         per_cat = np.einsum("kms,kms->km", weighted, moved)
         return per_cat.mean(axis=0)
@@ -376,11 +410,77 @@ class NumbaKernel(NumpyKernel):
         return result, scale
 
 
+class RepeatsKernel:
+    """Repeat-aware wrapper backend.
+
+    Delegates every primitive verbatim to ``inner`` (numpy reference by
+    default) and advertises ``supports_repeats = True`` — the flag
+    :class:`~repro.plk.likelihood.PartitionLikelihood` reads to switch on
+    repeat-compressed CLV storage.  Composition is by name:
+    ``repeats`` wraps numpy, ``repeats+blocked`` / ``repeats+numba`` wrap
+    the respective flop backends, so algorithmic work avoidance stacks
+    with flop-level acceleration.
+    """
+
+    supports_repeats = True
+
+    def __init__(self, inner: KernelBackend | None = None):
+        self.inner = inner if inner is not None else NumpyKernel()
+        inner_name = getattr(self.inner, "name", "numpy")
+        self.name = "repeats" if inner_name == "numpy" else f"repeats+{inner_name}"
+
+    def prepare_p(self, p: np.ndarray):
+        return self.inner.prepare_p(p)
+
+    def propagate(self, p, clv: np.ndarray) -> np.ndarray:
+        return self.inner.propagate(p, clv)
+
+    def newview(self, p1, clv1, scale1, p2, clv2, scale2, out=None):
+        return self.inner.newview(p1, clv1, scale1, p2, clv2, scale2, out)
+
+    def root_site_likelihoods(self, p, clv_left, clv_right, frequencies):
+        return self.inner.root_site_likelihoods(
+            p, clv_left, clv_right, frequencies
+        )
+
+    def evaluate(self, p, clv_left, scale_left, clv_right, scale_right,
+                 frequencies, weights) -> float:
+        return self.inner.evaluate(p, clv_left, scale_left, clv_right,
+                                   scale_right, frequencies, weights)
+
+    def make_sumtable(self, clv_left, clv_right, u, v, frequencies):
+        return self.inner.make_sumtable(clv_left, clv_right, u, v,
+                                        frequencies)
+
+
 _FACTORIES = {
     "numpy": NumpyKernel,
     "blocked": BlockedKernel,
     "numba": NumbaKernel,
 }
+
+
+def normalize_kernel_name(name: str | None = None) -> str:
+    """Validate a kernel name and return its canonical spelling.
+
+    Applies the same layered default as :func:`get_kernel` (``None`` →
+    ``REPRO_KERNEL`` env → ``"numpy"``) but never instantiates a backend,
+    so callers that only need validation (CLI parsers, the parallel
+    engine, serve job specs) don't trigger numba's fallback warning.
+    ``repeats+numpy`` canonicalizes to ``repeats``.
+    """
+    if name is None:
+        name = os.environ.get(KERNEL_ENV, "").strip() or "numpy"
+    base, sep, inner = name.partition("+")
+    if sep:
+        if base == "repeats" and inner in _FACTORIES:
+            return "repeats" if inner == "numpy" else name
+    elif base in _FACTORIES or base == "repeats":
+        return base
+    raise ValueError(
+        f"unknown kernel backend {name!r}; choose from "
+        f"{', '.join(KERNEL_CHOICES)}"
+    )
 
 
 def get_kernel(name: str | KernelBackend | None = None) -> KernelBackend:
@@ -392,16 +492,14 @@ def get_kernel(name: str | KernelBackend | None = None) -> KernelBackend:
     untouched (so an engine can hand its resolved backend to
     sub-components).  Each call with a *name* returns a FRESH instance:
     backends hold per-instance scratch and must not be shared across
-    worker threads.
+    worker threads.  Composite names (``repeats``, ``repeats+blocked``,
+    ``repeats+numba``) build a :class:`RepeatsKernel` around the named
+    inner backend.
     """
-    if name is None:
-        name = os.environ.get(KERNEL_ENV, "").strip() or "numpy"
-    if not isinstance(name, str):
+    if name is not None and not isinstance(name, str):
         return name
-    try:
-        factory = _FACTORIES[name]
-    except KeyError:
-        raise ValueError(
-            f"unknown kernel backend {name!r}; choose from {', '.join(KERNELS)}"
-        ) from None
-    return factory()
+    name = normalize_kernel_name(name)
+    if name == "repeats" or name.startswith("repeats+"):
+        inner = name.partition("+")[2] or "numpy"
+        return RepeatsKernel(_FACTORIES[inner]())
+    return _FACTORIES[name]()

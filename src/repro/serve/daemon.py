@@ -36,13 +36,14 @@ import socketserver
 import tempfile
 import threading
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from ..obs.live import FLIGHT_DIR_ENV, FlightRecorder
 from ..obs.metrics import MetricsRegistry
 from ..obs.prometheus import prometheus_text
 from ..obs.tracer import NullTracer
 from ..parallel.engine import ParallelPLK, WorkerError
+from ..plk.kernels import normalize_kernel_name
 from . import protocol
 from .cache import ServeCache
 from .pool import TeamPool, price_job
@@ -106,6 +107,18 @@ class LikelihoodService:
 
     # -- engine construction ----------------------------------------------
 
+    def _job_context(self, spec: dict):
+        """The dataset context a job runs against, specialized to the
+        job's kernel.  A spec-level ``"kernel"`` overrides the service
+        default; the override is folded into the context key, so the
+        team pool keeps one warm team PER (dataset, kernel) and batching
+        never mixes backends."""
+        context = self.cache.get(spec["dataset"])
+        kern = normalize_kernel_name(spec.get("kernel") or self.config.kernel)
+        if kern == normalize_kernel_name(self.config.kernel):
+            return context
+        return replace(context, key=f"{context.key}+{kern}", kernel=kern)
+
     def _build_engine(self, context) -> ParallelPLK:
         cfg = self.config
         engine = ParallelPLK(
@@ -119,7 +132,7 @@ class LikelihoodService:
             initial_lengths=context.lengths,
             categories=cfg.categories,
             comms=cfg.comms if cfg.backend == "processes" else "pipe",
-            kernel=cfg.kernel,
+            kernel=context.kernel or cfg.kernel,
             live=cfg.live,
             metrics=self.metrics,
             **cfg.engine_kwargs,
@@ -168,9 +181,12 @@ class LikelihoodService:
         """Validate, price and enqueue one job; returns it immediately.
 
         ``spec`` must carry ``op`` (one of :data:`OPS`) and ``dataset``
-        (a :func:`repro.serve.cache.build_context` spec).  Pricing
-        builds/reuses the dataset context, so the cache is warm by the
-        time an executor claims the job.
+        (a :func:`repro.serve.cache.build_context` spec).  An optional
+        ``"kernel"`` picks the worker backend for this job (any
+        :data:`repro.plk.kernels.KERNEL_CHOICES` name); jobs with
+        different kernels run on different warm teams and never batch
+        together.  Pricing builds/reuses the dataset context, so the
+        cache is warm by the time an executor claims the job.
         """
         op = spec.get("op")
         if op not in OPS:
@@ -179,7 +195,10 @@ class LikelihoodService:
             raise ValueError(f"op {op!r} requires allow_chaos=True")
         if "dataset" not in spec:
             raise ValueError("spec must carry a 'dataset' description")
-        context = self.cache.get(spec["dataset"])
+        # Validates spec["kernel"] eagerly (bad names fail at submit, not
+        # in an executor thread) and warms the dataset context.
+        context = self._job_context(spec)
+        kern = context.kernel or normalize_kernel_name(self.config.kernel)
         job = Job(
             id=next(self._job_ids),
             tenant=tenant,
@@ -190,8 +209,11 @@ class LikelihoodService:
         )
         self.queue.submit(job)
         self.metrics.counter("serve.jobs.submitted").inc()
+        self.metrics.counter(f"serve.kernel.{kern}.jobs").inc()
         self.metrics.gauge("serve.queue_depth").set(self.queue.depth())
-        self.flight.record("job_submitted", job=job.id, tenant=tenant, op=op)
+        self.flight.record(
+            "job_submitted", job=job.id, tenant=tenant, op=op, kernel=kern
+        )
         return job
 
     # -- execution ---------------------------------------------------------
@@ -206,11 +228,11 @@ class LikelihoodService:
                 job.spec["op"] == "loglikelihood"
                 and self.config.batch_limit > 1
             ):
-                key = self.cache.get(job.spec["dataset"]).key
+                key = self._job_context(job.spec).key
                 extras = self.queue.claim_batch(
                     lambda j: (
                         j.spec["op"] == "loglikelihood"
-                        and self.cache.get(j.spec["dataset"]).key == key
+                        and self._job_context(j.spec).key == key
                     ),
                     limit=self.config.batch_limit - 1,
                 )
@@ -221,7 +243,7 @@ class LikelihoodService:
             self.metrics.gauge("serve.queue_depth").set(self.queue.depth())
 
     def _run_batch(self, batch: list[Job]) -> None:
-        context = self.cache.get(batch[0].spec["dataset"])
+        context = self._job_context(batch[0].spec)
         t0 = time.perf_counter()
         try:
             team = self.pool.checkout(context, timeout=self.config.checkout_timeout)

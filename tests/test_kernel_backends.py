@@ -316,7 +316,9 @@ class TestParallelKernelSelection:
     """kernel= threads end to end through teams, including zero-width
     worker slices (more workers than patterns in a partition)."""
 
-    @pytest.mark.parametrize("name", ["numpy", "blocked"])
+    @pytest.mark.parametrize(
+        "name", ["numpy", "blocked", "repeats", "repeats+blocked"]
+    )
     def test_threads_team_matches_sequential(self, small_tree, name):
         from repro.core import PartitionedEngine
         from repro.parallel import ParallelPLK

@@ -367,3 +367,67 @@ def test_chaos_requires_opt_in():
         svc.submit({"op": "chaos_die", "dataset": DS})
     with pytest.raises(ValueError, match="unknown op"):
         svc.submit({"op": "frobnicate", "dataset": DS})
+
+
+# ---------------------------------------------------------------------------
+# per-job kernel overrides
+
+
+@pytest.mark.timeout(120)
+def test_kernel_override_runs_on_isolated_warm_team(service, oneshot_lnl):
+    """spec["kernel"] selects the backend per job: the result matches the
+    default-kernel answer, runs on its OWN warm team (kernel-suffixed
+    pool key), and is stamped in metrics and the flight recorder."""
+    client = LocalClient(service)
+    view = client.run(
+        {"op": "loglikelihood", "dataset": DS, "kernel": "repeats"}, wait=60
+    )
+    assert view["state"] == "done"
+    assert abs(view["result"]["lnl"] - oneshot_lnl) < 1e-9
+
+    keys = {t["key"] for t in service.pool.stats()["teams"]}
+    assert any(k.endswith("+repeats") for k in keys)
+    # the default-kernel teams from earlier tests are untouched
+    assert any(not k.endswith("+repeats") for k in keys)
+
+    snap = service.metrics.snapshot()
+    assert snap["serve.kernel.repeats.jobs"]["value"] >= 1
+    stamped = [
+        e for e in service.flight.events()
+        if e.get("event") == "job_submitted" and e.get("kernel") == "repeats"
+    ]
+    assert stamped
+
+
+@pytest.mark.timeout(120)
+def test_kernel_override_composite_spelling(service, oneshot_lnl):
+    client = LocalClient(service)
+    view = client.run(
+        {"op": "loglikelihood", "dataset": DS, "kernel": "repeats+blocked"},
+        wait=60,
+    )
+    assert view["state"] == "done"
+    assert abs(view["result"]["lnl"] - oneshot_lnl) < 1e-9
+
+
+@pytest.mark.timeout(120)
+def test_unknown_kernel_rejected_at_submit(service):
+    client = LocalClient(service)
+    with pytest.raises(ValueError, match="unknown kernel backend"):
+        client.submit(
+            {"op": "loglikelihood", "dataset": DS, "kernel": "quantum"}
+        )
+
+
+@pytest.mark.timeout(120)
+def test_default_kernel_spelling_shares_default_team_key(service):
+    """An explicit spec kernel equal to the service default must NOT
+    fork a separate warm team — the override only isolates when it
+    actually changes the backend."""
+    client = LocalClient(service)
+    view = client.run(
+        {"op": "loglikelihood", "dataset": DS, "kernel": "numpy"}, wait=60
+    )
+    assert view["state"] == "done"
+    keys = {t["key"] for t in service.pool.stats()["teams"]}
+    assert not any(k.endswith("+numpy") for k in keys)
